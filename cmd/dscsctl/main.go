@@ -1,0 +1,91 @@
+// Command dscsctl is the operator's view of the simulated cluster: it
+// deploys a Table 1 application (printing its extended OpenFaaS-style YAML
+// with the in-storage acceleration hints), invokes it on a chosen platform,
+// and prints per-invocation latency breakdowns.
+//
+// Usage:
+//
+//	dscsctl -app remote-sensing -platform "DSCS-Serverless" -n 5
+//	dscsctl -app ppe-detection -platform "Baseline (CPU)" -show-yaml
+//	dscsctl -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dscs"
+)
+
+func main() {
+	var (
+		app      = flag.String("app", "remote-sensing", "benchmark slug to deploy")
+		plat     = flag.String("platform", "DSCS-Serverless", "platform name from Table 2")
+		n        = flag.Int("n", 5, "number of invocations")
+		batch    = flag.Int("batch", 1, "request batch size")
+		cold     = flag.Bool("cold", false, "force a cold container start")
+		showYAML = flag.Bool("show-yaml", false, "print the deployment YAML")
+		list     = flag.Bool("list", false, "list applications and platforms")
+		seed     = flag.Uint64("seed", 7, "environment seed")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Applications:")
+		for _, b := range dscs.Suite() {
+			fmt.Printf("  %-16s %s\n", b.Slug, b.Description)
+		}
+		fmt.Println("Platforms:")
+		for _, p := range dscs.Platforms() {
+			fmt.Printf("  %q\n", p.Name())
+		}
+		return
+	}
+
+	b := dscs.BenchmarkBySlug(*app)
+	if b == nil {
+		fail(fmt.Errorf("unknown application %q (try -list)", *app))
+	}
+	if *showYAML {
+		fmt.Print(dscs.DeploymentYAML(b))
+		return
+	}
+
+	env, err := dscs.NewEnvironment(*seed)
+	if err != nil {
+		fail(err)
+	}
+	runner, err := env.Runner(*plat)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("Deployed %s (%s) on %s.\n", b.Name, b.Model.String(), *plat)
+	fmt.Printf("%-4s %-12s %-10s %-10s %-10s %-10s %-10s %-10s\n",
+		"#", "total", "stack", "remoteIO", "compute", "deviceIO", "driver", "notify")
+	var sum time.Duration
+	for i := 0; i < *n; i++ {
+		res, err := runner.Invoke(b, dscs.InvokeOptions{Batch: *batch, Cold: *cold && i == 0})
+		if err != nil {
+			fail(err)
+		}
+		bd := res.Breakdown
+		fmt.Printf("%-4d %-12v %-10v %-10v %-10v %-10v %-10v %-10v\n",
+			i+1, res.Total().Round(time.Microsecond),
+			bd.Stack.Round(time.Microsecond),
+			(bd.RemoteRead + bd.RemoteWrite).Round(time.Microsecond),
+			bd.Compute.Round(time.Microsecond),
+			bd.DeviceIO.Round(time.Microsecond),
+			bd.Driver.Round(time.Microsecond),
+			bd.Notify.Round(time.Microsecond))
+		sum += res.Total()
+	}
+	fmt.Printf("mean end-to-end latency: %v\n", (sum / time.Duration(*n)).Round(time.Microsecond))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dscsctl:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,72 @@
+// Command dscsdse runs the Section 4.2 design-space exploration standalone:
+// it evaluates every configuration, prints both Pareto frontiers with their
+// cubic fits, and reports the selected design point.
+//
+// Usage:
+//
+//	dscsdse
+//	dscsdse -frontier power
+//	dscsdse -frontier area
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dscs"
+	"dscs/internal/dse"
+	"dscs/internal/metrics"
+)
+
+func main() {
+	frontier := flag.String("frontier", "both", "frontier to print: power, area, or both")
+	flag.Parse()
+
+	fmt.Println("Exploring the design space (this evaluates >650 configurations)...")
+	points, err := dscs.ExploreDesignSpace()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dscsdse:", err)
+		os.Exit(1)
+	}
+	feasible := 0
+	for _, p := range points {
+		if p.Feasible {
+			feasible++
+		}
+	}
+	fmt.Printf("Explored %d configurations (%d feasible within the 25W drive budget).\n\n",
+		len(points), feasible)
+
+	if *frontier == "power" || *frontier == "both" {
+		printFrontier("Power-performance frontier (45nm)", "P",
+			dscs.ParetoPower(points), dse.PowerAxes, "W")
+	}
+	if *frontier == "area" || *frontier == "both" {
+		printFrontier("Area-performance frontier (45nm)", "A",
+			dscs.ParetoArea(points), dse.AreaAxes, "mm2")
+	}
+
+	if best, ok := dscs.OptimalDesign(points); ok {
+		fmt.Printf("Selected design: %s (%.0f req/s average across the suite)\n",
+			best.Label(), best.Throughput)
+	}
+}
+
+func printFrontier(title, fitName string, frontier []dse.Point,
+	axes func(dse.Point) (float64, float64), unit string) {
+	fmt.Println(title)
+	for _, p := range frontier {
+		x, y := axes(p)
+		marker := " "
+		if p.Feasible {
+			marker = "*"
+		}
+		fmt.Printf("  %s %-24s %8.0f req/s  %10.2f %s\n", marker, p.Label(), x, y, unit)
+	}
+	if coeffs, err := dse.FitCubic(frontier, axes); err == nil {
+		fmt.Printf("  fit: %s\n", metrics.PolyString(fitName, coeffs))
+	}
+	fmt.Println("  (* = feasible within the drive power budget at 14nm)")
+	fmt.Println()
+}

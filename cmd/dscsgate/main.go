@@ -1,0 +1,123 @@
+// Command dscsgate serves the OpenFaaS-style gateway over the simulated
+// cluster: deploy Table 1 applications from their YAML, invoke them over
+// HTTP, and scrape telemetry — the operator-facing face of DSCS-Serverless.
+//
+// Usage:
+//
+//	dscsgate -addr :8080 &
+//	curl -X POST --data-binary @app.yaml localhost:8080/system/functions
+//	curl -X POST -d '{"quantile":0.5}' localhost:8080/function/asset-damage
+//	curl localhost:8080/system/functions
+//	curl localhost:8080/metrics
+//
+// Pass -deploy-all to pre-deploy the whole benchmark suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"dscs"
+	"dscs/internal/faas"
+	"dscs/internal/gateway"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		seed      = flag.Uint64("seed", 7, "environment seed")
+		deployAll = flag.Bool("deploy-all", false, "pre-deploy the whole suite")
+		demo      = flag.Bool("demo", false, "run a self-contained request demo and exit")
+	)
+	flag.Parse()
+
+	env, err := dscs.NewEnvironment(*seed)
+	if err != nil {
+		fail(err)
+	}
+	gw, err := gateway.New(env.Runners, "DSCS-Serverless", "Baseline (CPU)")
+	if err != nil {
+		fail(err)
+	}
+
+	if *deployAll || *demo {
+		if err := deploySuite(gw); err != nil {
+			fail(err)
+		}
+		fmt.Printf("Pre-deployed %d applications.\n", len(dscs.Suite()))
+	}
+
+	if *demo {
+		runDemo(gw)
+		return
+	}
+
+	fmt.Printf("DSCS-Serverless gateway listening on %s\n", *addr)
+	fmt.Println("  POST /system/functions   deploy (YAML body)")
+	fmt.Println("  GET  /system/functions   list deployments")
+	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")
+	fmt.Println("  GET  /metrics            telemetry")
+	if err := http.ListenAndServe(*addr, gw.Handler()); err != nil {
+		fail(err)
+	}
+}
+
+// deploySuite pushes every Table 1 deployment through the API path.
+func deploySuite(gw *gateway.Gateway) error {
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	for _, b := range dscs.Suite() {
+		resp, err := http.Post(srv.URL+"/system/functions", "application/x-yaml",
+			strings.NewReader(faas.DeploymentYAML(b)))
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("deploy %s: status %d", b.Slug, resp.StatusCode)
+		}
+	}
+	return nil
+}
+
+// runDemo exercises the API end to end without needing a free port.
+func runDemo(gw *gateway.Gateway) {
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	client := srv.Client()
+	client.Timeout = 10 * time.Second
+
+	for _, target := range []string{
+		"/function/remote-sensing",
+		"/function/remote-sensing?platform=" + url.QueryEscape("Baseline (CPU)"),
+	} {
+		resp, err := client.Post(srv.URL+target, "application/json",
+			strings.NewReader(`{"quantile":0.5}`))
+		if err != nil {
+			fail(err)
+		}
+		body := make([]byte, 4096)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		fmt.Printf("POST %s ->\n%s\n", target, body[:n])
+	}
+	resp, err := client.Get(srv.URL + "/metrics")
+	if err != nil {
+		fail(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	fmt.Printf("GET /metrics ->\n%s", body[:n])
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dscsgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,124 @@
+// Command dscsprof profiles a model on a DSA design point: per-layer
+// cycles, the compute/memory balance, array utilization, and the energy
+// estimate — the view an accelerator engineer uses to find what a network
+// is bound by.
+//
+// Usage:
+//
+//	dscsprof -model bert-base
+//	dscsprof -model resnet-50 -batch 8 -dim 32 -top 15
+//	dscsprof -model gpt2-small -disasm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dscs/internal/compiler"
+	"dscs/internal/dsa"
+	"dscs/internal/model"
+	"dscs/internal/power"
+	"dscs/internal/units"
+)
+
+func zoo() map[string]*model.Graph {
+	graphs := []*model.Graph{
+		model.LogisticRegressionCredit(4096), model.ResNet50(),
+		model.SSDMobileNetPPE(), model.BERTBaseChatbot(),
+		model.MarianTranslation(), model.InceptionV3Clinical(),
+		model.ResNet18Moderation(), model.ViTRemoteSensing(),
+		model.GPT2Generative(),
+	}
+	out := make(map[string]*model.Graph, len(graphs))
+	for _, g := range graphs {
+		out[g.Name] = g
+	}
+	return out
+}
+
+func main() {
+	var (
+		name   = flag.String("model", "resnet-50", "model name from the zoo")
+		batch  = flag.Int("batch", 1, "batch size")
+		dim    = flag.Int("dim", 128, "systolic array dimension")
+		bufMiB = flag.Int("buf", 4, "total on-chip buffer MiB")
+		top    = flag.Int("top", 10, "layers to show")
+		disasm = flag.Bool("disasm", false, "dump the compiled program instead")
+		list   = flag.Bool("list", false, "list available models")
+	)
+	flag.Parse()
+
+	models := zoo()
+	if *list {
+		names := make([]string, 0, len(models))
+		for n := range models {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-20s %s\n", n, models[n].String())
+		}
+		return
+	}
+	g, ok := models[*name]
+	if !ok {
+		fail(fmt.Errorf("unknown model %q (try -list)", *name))
+	}
+
+	cfg := dsa.Config{
+		Name: "prof", Rows: *dim, Cols: *dim, VPULanes: *dim,
+		Freq: units.GHz, DRAM: power.DDR5, DoubleBuffered: true,
+	}.WithBuffers(units.Bytes(*bufMiB) * units.MiB)
+
+	prog, err := compiler.Compile(g, *batch, cfg, compiler.Options{})
+	if err != nil {
+		fail(err)
+	}
+	if *disasm {
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	sim, err := dsa.New(cfg)
+	if err != nil {
+		fail(err)
+	}
+	sim.KeepPerLayer(true)
+	st, err := sim.Run(prog)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("%s  batch=%d  on %s @ %v\n", g.String(), *batch, cfg, cfg.Freq)
+	fmt.Printf("total: %v  (%d cycles)  utilization %.1f%%\n",
+		st.Latency(cfg.Freq), st.Cycles, 100*st.Utilization(cfg))
+	fmt.Printf("MACs %.2fG  DRAM %v  compute-cycles %d  dma-cycles %d  vpu-cycles %d\n",
+		float64(st.MACs)/1e9, st.DRAMBytes, st.ComputeCycles, st.MemCycles, st.VectorCycles)
+	e14, p14 := sim.Energy(st, power.Node14nm)
+	fmt.Printf("energy %v (avg %v at 14nm)\n\n", e14, p14)
+
+	// Top layers by cycle share.
+	layers := append([]dsa.LayerStat(nil), st.PerLayer...)
+	sort.Slice(layers, func(i, j int) bool { return layers[i].Cycles > layers[j].Cycles })
+	if *top > len(layers) {
+		*top = len(layers)
+	}
+	fmt.Printf("%-28s %-12s %-10s %s\n", "layer", "op", "cycles", "share")
+	for _, ls := range layers[:*top] {
+		fmt.Printf("%-28s %-12s %-10d %5.1f%%\n",
+			ls.Layer, ls.Op, ls.Cycles, 100*float64(ls.Cycles)/float64(st.Cycles))
+	}
+	var shown uint64
+	for _, ls := range layers[:*top] {
+		shown += ls.Cycles
+	}
+	fmt.Printf("(top %d layers cover %.1f%% of %d instructions)\n",
+		*top, 100*float64(shown)/float64(st.Cycles), len(layers))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dscsprof:", err)
+	os.Exit(1)
+}

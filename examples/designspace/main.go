@@ -1,0 +1,57 @@
+// Designspace: run the Section 4.2 exploration with the public API and
+// answer the architect's question — how big should an accelerator inside a
+// 25W storage drive be? Prints the power-performance frontier and the
+// selected design point (Figures 7-8).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dscs"
+)
+
+func main() {
+	fmt.Println("Evaluating >650 DSA configurations across the benchmark suite...")
+	points, err := dscs.ExploreDesignSpace()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	frontier := dscs.ParetoPower(points)
+	fmt.Printf("\nPower-performance frontier (%d of %d points):\n",
+		len(frontier), len(points))
+	fmt.Printf("%-26s %-14s %-12s %s\n", "design", "throughput", "dyn power", "fits 25W drive?")
+	for _, p := range frontier {
+		fits := "no"
+		if p.Feasible {
+			fits = "yes"
+		}
+		fmt.Printf("%-26s %8.0f req/s %10.1f W  %s\n",
+			p.Label(), p.Throughput, float64(p.DynPower), fits)
+	}
+
+	best, ok := dscs.OptimalDesign(points)
+	if !ok {
+		log.Fatal("no feasible design found")
+	}
+	fmt.Printf("\nSelected: %s\n", best.Label())
+	fmt.Println("\nBigger arrays lose at batch one: a 1024x1024 array spends its cycles")
+	fmt.Println("filling and draining; tile DMA cannot hide behind so little compute.")
+	// Compare on the selected design's memory class — HBM2 can mask the
+	// tile DMA, but no HBM2 monster fits the 25W drive budget anyway.
+	var big, small float64
+	for _, p := range points {
+		if p.Config.DRAM != best.Config.DRAM {
+			continue
+		}
+		if p.Config.Rows == 1024 && p.Throughput > big {
+			big = p.Throughput
+		}
+		if p.Config.Rows == 128 && p.Throughput > small {
+			small = p.Throughput
+		}
+	}
+	fmt.Printf("best 128x128 on %v: %.0f req/s    best 1024x1024 on %v: %.0f req/s\n",
+		best.Config.DRAM, small, best.Config.DRAM, big)
+}

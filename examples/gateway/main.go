@@ -1,0 +1,67 @@
+// Gateway: stand up the OpenFaaS-style HTTP API over the simulated cluster
+// and drive it exactly as an operator would with curl — deploy a YAML
+// application, invoke it on both platforms, and scrape the telemetry.
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+
+	"dscs"
+)
+
+func main() {
+	env, err := dscs.NewEnvironment(11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	handler, err := dscs.NewGatewayHandler(env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	app := dscs.BenchmarkBySlug("clinical")
+	fmt.Println("POST /system/functions  (deploying the clinical-analysis pipeline)")
+	resp, err := http.Post(srv.URL+"/system/functions", "application/x-yaml",
+		strings.NewReader(dscs.DeploymentYAML(app)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	echo(resp)
+
+	fmt.Println("POST /function/clinical  (routed to the in-storage DSA)")
+	resp, err = http.Post(srv.URL+"/function/clinical", "application/json",
+		strings.NewReader(`{"quantile":0.5}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	echo(resp)
+
+	fmt.Println("POST /function/clinical?platform=Baseline (CPU)  (forced fallback)")
+	resp, err = http.Post(srv.URL+"/function/clinical?platform="+url.QueryEscape("Baseline (CPU)"),
+		"application/json", strings.NewReader(`{"quantile":0.5}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	echo(resp)
+
+	fmt.Println("GET /metrics")
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	echo(resp)
+}
+
+func echo(resp *http.Response) {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	fmt.Printf("%s\n%s\n", resp.Status, body)
+}

@@ -1,0 +1,59 @@
+// Wildfire: the paper's motivating SDG&E scenario (Section 2). Drone survey
+// tiles land in disaggregated storage; a three-function serverless pipeline
+// (preprocess -> ViT inference -> notify) analyzes each for fire risk. This
+// example deploys the pipeline from its YAML, then contrasts every Table 2
+// platform on the same workload — reproducing the Figure 9 story for one
+// application.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dscs"
+)
+
+func main() {
+	env, err := dscs.NewEnvironment(2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app := dscs.BenchmarkBySlug("remote-sensing")
+
+	fmt.Println("Deployment file (extended OpenFaaS YAML with DSA hints):")
+	fmt.Println(dscs.DeploymentYAML(app))
+
+	fmt.Printf("Each drone tile: %v raw -> %v tensor -> %v verdict\n\n",
+		app.InputBytes, app.IntermediateBytes, app.OutputBytes)
+
+	opt := dscs.InvokeOptions{Quantile: 0.5}
+	var baseTotal time.Duration
+	fmt.Printf("%-22s %-12s %-10s %s\n", "Platform", "latency", "speedup", "where f1/f2 ran")
+	for _, p := range dscs.Platforms() {
+		runner, err := env.Runner(p.Name())
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := runner.Invoke(app, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if baseTotal == 0 {
+			baseTotal = res.Total()
+		}
+		where := "compute node, data via S3"
+		if p.NearStorage() {
+			where = "storage node, data local"
+		}
+		if p.Name() == "DSCS-Serverless" {
+			where = "inside the drive, via P2P"
+		}
+		fmt.Printf("%-22s %-12v %-10.2f %s\n",
+			p.Name(), res.Total().Round(time.Millisecond),
+			baseTotal.Seconds()/res.Total().Seconds(), where)
+	}
+
+	fmt.Println("\nA tile that took the baseline hundreds of milliseconds clears the")
+	fmt.Println("in-storage accelerator in tens — fire alerts go out sooner.")
+}

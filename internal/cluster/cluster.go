@@ -1,0 +1,128 @@
+// Package cluster runs the at-scale discrete-event simulation of
+// Section 6.2.2: a rack with a bounded pool of function instances (200 in
+// the paper), a 10,000-deep FCFS queue, and a bursty arrival trace. It
+// produces the time series of Figure 13: queued functions over time and
+// wall-clock request latency for each system.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dscs/internal/metrics"
+	"dscs/internal/sched"
+	"dscs/internal/sim"
+	"dscs/internal/trace"
+)
+
+// ServiceModel returns the end-to-end service time of one request of the
+// given benchmark; implementations sample jitter from the provided stream.
+type ServiceModel func(slug string, rng *sim.RNG) time.Duration
+
+// Config parameterizes a run.
+type Config struct {
+	Instances  int
+	QueueDepth int
+	Service    ServiceModel
+	// SampleEvery sets the telemetry sampling period for the series.
+	SampleEvery time.Duration
+}
+
+// PaperConfig returns the paper's at-scale parameters.
+func PaperConfig(service ServiceModel) Config {
+	return Config{
+		Instances:   200,
+		QueueDepth:  10000,
+		Service:     service,
+		SampleEvery: 5 * time.Second,
+	}
+}
+
+// Stats is the outcome of one run.
+type Stats struct {
+	Queue   metrics.Series // queued functions over time (Figure 13b)
+	Latency metrics.Series // wall-clock latency over time (Figure 13c/d)
+
+	Completed int
+	Dropped   int
+	// LatencySample holds every completed request's wall-clock latency.
+	LatencySample *metrics.Sample
+}
+
+// Run replays the trace against the pool and returns the series.
+func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
+	if cfg.Instances <= 0 || cfg.QueueDepth <= 0 || cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: incomplete config")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Second
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	fcfs, err := sched.NewFCFS(cfg.Instances, cfg.QueueDepth, sched.NewTelemetry())
+	if err != nil {
+		return nil, err
+	}
+	st := &Stats{
+		Queue:         metrics.Series{Name: "queued"},
+		Latency:       metrics.Series{Name: "latency_ms"},
+		LatencySample: metrics.NewSample(len(tr.Requests)),
+	}
+
+	// Latency accumulator per sampling bucket.
+	var bucketSum time.Duration
+	var bucketN int
+
+	var pump func()
+	pump = func() {
+		for {
+			task, ok := fcfs.Dispatch()
+			if !ok {
+				return
+			}
+			service := cfg.Service(task.Payload, rng)
+			arrived := task.Arrived
+			engine.After(service, func() {
+				fcfs.Complete()
+				lat := engine.Now() - arrived
+				st.Completed++
+				st.LatencySample.Add(lat)
+				bucketSum += lat
+				bucketN++
+				pump()
+			})
+		}
+	}
+
+	for _, r := range tr.Requests {
+		req := r
+		engine.At(req.At, func() {
+			fcfs.Submit(sched.Task{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark})
+			pump()
+		})
+	}
+
+	// Telemetry sampler across the trace (plus drain tail).
+	horizon := tr.Duration + 2*time.Minute
+	for t := time.Duration(0); t <= horizon; t += cfg.SampleEvery {
+		at := t
+		engine.At(at, func() {
+			st.Queue.Add(at, float64(fcfs.QueueLen()))
+			if bucketN > 0 {
+				st.Latency.Add(at, float64(bucketSum.Milliseconds())/float64(bucketN))
+				bucketSum, bucketN = 0, 0
+			}
+		})
+	}
+
+	engine.Run()
+	st.Dropped = fcfs.Dropped()
+	if err := fcfs.Conservation(); err != nil {
+		return nil, err
+	}
+	if st.Completed+st.Dropped != len(tr.Requests) {
+		return nil, fmt.Errorf("cluster: lost requests: %d completed + %d dropped != %d arrived",
+			st.Completed, st.Dropped, len(tr.Requests))
+	}
+	return st, nil
+}

@@ -1,0 +1,132 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/sim"
+	"dscs/internal/trace"
+	"dscs/internal/workload"
+)
+
+func flatService(d time.Duration) ServiceModel {
+	return func(string, *sim.RNG) time.Duration { return d }
+}
+
+func smallTrace(t *testing.T, rate float64) *trace.Trace {
+	t.Helper()
+	cfg := trace.BurstyConfig{
+		Duration: 2 * time.Minute, BaseRate: rate, BurstRate: rate + 0.001,
+		BurstEvery: time.Minute, BurstLength: time.Second,
+	}
+	tr, err := trace.Generate(cfg, workload.Suite(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestUnderloadedNoQueue(t *testing.T) {
+	// 100 rps against 50 instances at 100ms service: 10% load.
+	tr := smallTrace(t, 100)
+	st, err := Run(tr, Config{Instances: 50, QueueDepth: 1000,
+		Service: flatService(100 * time.Millisecond), SampleEvery: time.Second}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("dropped %d under light load", st.Dropped)
+	}
+	if st.Completed != len(tr.Requests) {
+		t.Fatalf("completed %d of %d", st.Completed, len(tr.Requests))
+	}
+	if q := st.Queue.MaxValue(); q > 20 {
+		t.Errorf("peak queue %v under light load", q)
+	}
+	// Latency stays near the service time.
+	if p99 := st.LatencySample.Percentile(0.99); p99 > 300*time.Millisecond {
+		t.Errorf("p99 = %v under light load", p99)
+	}
+}
+
+func TestOverloadQueues(t *testing.T) {
+	// 100 rps against 5 instances at 100ms: 2x overload -> queue grows.
+	tr := smallTrace(t, 100)
+	st, err := Run(tr, Config{Instances: 5, QueueDepth: 100000,
+		Service: flatService(100 * time.Millisecond), SampleEvery: time.Second}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := st.Queue.MaxValue(); q < 1000 {
+		t.Errorf("peak queue %v, expected sustained growth under 2x overload", q)
+	}
+	// Wall-clock latency far exceeds the service time.
+	if mean := st.LatencySample.Mean(); mean < time.Second {
+		t.Errorf("mean latency %v under overload", mean)
+	}
+}
+
+func TestQueueBoundDrops(t *testing.T) {
+	tr := smallTrace(t, 100)
+	st, err := Run(tr, Config{Instances: 1, QueueDepth: 50,
+		Service: flatService(time.Second), SampleEvery: time.Second}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dropped == 0 {
+		t.Fatal("expected drops at a 50-deep queue under extreme overload")
+	}
+	if st.Completed+st.Dropped != len(tr.Requests) {
+		t.Fatal("request conservation violated")
+	}
+}
+
+func TestFasterServiceLowerLatency(t *testing.T) {
+	// The Figure 13 contrast: the same trace against fast (DSCS-like) and
+	// slow (baseline-like) service times.
+	tr := smallTrace(t, 120)
+	cfgFast := Config{Instances: 20, QueueDepth: 10000,
+		Service: flatService(90 * time.Millisecond), SampleEvery: time.Second}
+	cfgSlow := cfgFast
+	cfgSlow.Service = flatService(300 * time.Millisecond)
+	fast, err := Run(tr, cfgFast, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(tr, cfgSlow, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.LatencySample.Mean() >= slow.LatencySample.Mean() {
+		t.Error("faster service must lower wall-clock latency")
+	}
+	if fast.Queue.MaxValue() > slow.Queue.MaxValue() {
+		t.Error("faster service must not queue more")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tr := smallTrace(t, 10)
+	if _, err := Run(tr, Config{}, 1); err == nil {
+		t.Error("incomplete config must fail")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	tr := smallTrace(t, 50)
+	cfg := Config{Instances: 10, QueueDepth: 100,
+		Service: func(slug string, rng *sim.RNG) time.Duration {
+			return 50*time.Millisecond + rng.Exp(20*time.Millisecond)
+		}, SampleEvery: time.Second}
+	a, err := Run(tr, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Completed != b.Completed || a.LatencySample.Mean() != b.LatencySample.Mean() {
+		t.Error("same seed must reproduce the run")
+	}
+}

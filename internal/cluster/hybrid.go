@@ -1,0 +1,127 @@
+// hybrid.go replays traces against a heterogeneous pool (CPU + DSCS
+// instances) under a pluggable scheduling policy — the evaluation harness
+// for the paper's Section 5.3 scheduling future-work.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"dscs/internal/metrics"
+	"dscs/internal/sched"
+	"dscs/internal/sim"
+	"dscs/internal/trace"
+)
+
+// HybridServiceModel returns the expected service times of a benchmark on
+// each instance class plus its acceleratable-function count.
+type HybridServiceModel func(slug string) (cpu, dscs time.Duration, accelFuncs int)
+
+// HybridConfig parameterizes a hybrid run.
+type HybridConfig struct {
+	CPUInstances, DSCSInstances int
+	QueueDepth                  int
+	Policy                      sched.Policy
+	Service                     HybridServiceModel
+	// Jitter scales service times with a lognormal of this sigma.
+	Jitter float64
+	// SampleEvery sets the telemetry sampling period.
+	SampleEvery time.Duration
+}
+
+// HybridStats is the outcome of a hybrid run.
+type HybridStats struct {
+	Policy    string
+	Queue     metrics.Series
+	Latency   *metrics.Sample
+	Completed int
+	Dropped   int
+	// OnDSCS counts requests served by DSCS instances.
+	OnDSCS int
+}
+
+// RunHybrid replays the trace under the configured policy.
+func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, error) {
+	if cfg.CPUInstances+cfg.DSCSInstances <= 0 || cfg.QueueDepth <= 0 || cfg.Service == nil {
+		return nil, fmt.Errorf("cluster: incomplete hybrid config")
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 5 * time.Second
+	}
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	scheduler, err := sched.NewHybrid(cfg.CPUInstances, cfg.DSCSInstances,
+		cfg.QueueDepth, cfg.Policy, sched.NewTelemetry())
+	if err != nil {
+		return nil, err
+	}
+	policyName := "fcfs"
+	if cfg.Policy != nil {
+		policyName = cfg.Policy.Name()
+	}
+	st := &HybridStats{
+		Policy:  policyName,
+		Queue:   metrics.Series{Name: "queued"},
+		Latency: metrics.NewSample(len(tr.Requests)),
+	}
+
+	service := func(t sched.HybridTask, class sched.InstanceClass) time.Duration {
+		base := t.CPUService
+		if class == sched.ClassDSCS {
+			base = t.DSCSService
+		}
+		if cfg.Jitter <= 0 {
+			return base
+		}
+		return sim.LogNormal{Median: base, Sigma: cfg.Jitter}.Sample(rng)
+	}
+
+	var pump func()
+	pump = func() {
+		for {
+			task, class, ok := scheduler.Dispatch()
+			if !ok {
+				return
+			}
+			if class == sched.ClassDSCS {
+				st.OnDSCS++
+			}
+			arrived := task.Arrived
+			engine.After(service(task, class), func() {
+				scheduler.Complete(class)
+				st.Completed++
+				st.Latency.Add(engine.Now() - arrived)
+				pump()
+			})
+		}
+	}
+
+	for _, r := range tr.Requests {
+		req := r
+		engine.At(req.At, func() {
+			cpu, dscs, accel := cfg.Service(req.Benchmark)
+			scheduler.Submit(sched.HybridTask{
+				ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark,
+				CPUService: cpu, DSCSService: dscs, AccelFuncs: accel,
+			})
+			pump()
+		})
+	}
+	horizon := tr.Duration + 2*time.Minute
+	for t := time.Duration(0); t <= horizon; t += cfg.SampleEvery {
+		at := t
+		engine.At(at, func() {
+			st.Queue.Add(at, float64(scheduler.QueueLen()))
+		})
+	}
+
+	engine.Run()
+	st.Dropped = scheduler.Dropped()
+	if err := scheduler.Conservation(); err != nil {
+		return nil, err
+	}
+	if st.Completed+st.Dropped != len(tr.Requests) {
+		return nil, fmt.Errorf("cluster: hybrid lost requests")
+	}
+	return st, nil
+}

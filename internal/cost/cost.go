@@ -1,0 +1,190 @@
+// Package cost implements the paper's cost-efficiency methodology
+// (Section 6.1): an ASIC-Clouds style die-cost model for the DSA, market
+// prices for off-the-shelf components, CAPEX for the whole serving system,
+// OPEX as energy over a three-year, 30%-utilization deployment at the 2023
+// U.S. industrial electricity rate, and
+//
+//	CostEfficiency = Throughput x T / (CAPEX + OPEX).
+package cost
+
+import (
+	"math"
+	"time"
+
+	"dscs/internal/platform"
+	"dscs/internal/units"
+)
+
+// DieCostModel prices an ASIC die following ASIC Clouds: wafer price,
+// geometric dies-per-wafer, negative-binomial yield, packaging/test, and
+// amortized NRE.
+type DieCostModel struct {
+	WaferPrice     units.Dollars
+	WaferDiameter  float64 // mm
+	EdgeLoss       float64 // mm of unusable edge ring
+	DefectDensity  float64 // defects per mm^2
+	ClusterAlpha   float64 // defect clustering parameter
+	PackageAndTest units.Dollars
+	NRE            units.Dollars
+	Volume         float64 // units over which NRE amortizes
+}
+
+// Default14nm returns a 14 nm-class production model.
+func Default14nm() DieCostModel {
+	return DieCostModel{
+		WaferPrice:     6000,
+		WaferDiameter:  300,
+		EdgeLoss:       3,
+		DefectDensity:  0.001, // 0.1 per cm^2
+		ClusterAlpha:   3,
+		PackageAndTest: 8,
+		NRE:            4e6,
+		Volume:         100000,
+	}
+}
+
+// DiesPerWafer returns the geometric die count for a die area.
+func (m DieCostModel) DiesPerWafer(die units.Area) float64 {
+	if die <= 0 {
+		return 0
+	}
+	r := m.WaferDiameter/2 - m.EdgeLoss
+	a := float64(die)
+	return math.Pi*r*r/a - math.Pi*2*r/math.Sqrt(2*a)
+}
+
+// Yield returns the fraction of good dies (negative binomial).
+func (m DieCostModel) Yield(die units.Area) float64 {
+	a := float64(die)
+	return math.Pow(1+a*m.DefectDensity/m.ClusterAlpha, -m.ClusterAlpha)
+}
+
+// DieCost returns the per-unit cost of a die of the given area.
+func (m DieCostModel) DieCost(die units.Area) units.Dollars {
+	good := m.DiesPerWafer(die) * m.Yield(die)
+	if good <= 0 {
+		return 0
+	}
+	return m.WaferPrice/units.Dollars(good) + m.PackageAndTest +
+		m.NRE/units.Dollars(m.Volume)
+}
+
+// Deployment describes the ownership horizon the paper evaluates.
+type Deployment struct {
+	Years           float64
+	Utilization     float64       // duty cycle
+	ElectricityRate units.Dollars // $/kWh
+	PUE             float64       // cooling overhead multiplier
+}
+
+// PaperDeployment is the paper's 3-year, 30%-utilization setting at the
+// 2023 U.S. average industrial rate.
+func PaperDeployment() Deployment {
+	return Deployment{Years: 3, Utilization: 0.30, ElectricityRate: 0.0975, PUE: 1.5}
+}
+
+// ActiveTime is T: the powered, serving time over the deployment.
+func (d Deployment) ActiveTime() time.Duration {
+	hours := d.Years * 365 * 24 * d.Utilization
+	return time.Duration(hours * float64(time.Hour))
+}
+
+// OPEX prices a constant draw over the deployment (power, cooling).
+func (d Deployment) OPEX(avg units.Power) units.Dollars {
+	kwh := float64(avg) / 1000 * d.ActiveTime().Hours() * d.PUE
+	return units.Dollars(kwh) * d.ElectricityRate
+}
+
+// SystemCost is one platform's full serving-system bill of materials.
+type SystemCost struct {
+	Platform string
+	// Server is the compute-server share (traditional platforms) or the
+	// storage-server share (near-storage platforms).
+	Server units.Dollars
+	// Accelerator is the device itself (card, drive, SoC).
+	Accelerator units.Dollars
+	// StorageFleet is the disaggregated-storage share for traditional
+	// platforms (near-storage systems carry it in the accelerator drive).
+	StorageFleet units.Dollars
+	// Network is the fabric share.
+	Network units.Dollars
+	// ComputeNodeShare covers the compute-node slice near-storage systems
+	// still need for the non-accelerated functions (f3).
+	ComputeNodeShare units.Dollars
+	// AvgPower is the average draw while serving.
+	AvgPower units.Power
+}
+
+// CAPEX totals the capital expense.
+func (s SystemCost) CAPEX() units.Dollars {
+	return s.Server + s.Accelerator + s.StorageFleet + s.Network + s.ComputeNodeShare
+}
+
+// Total returns CAPEX plus OPEX for a deployment.
+func (s SystemCost) Total(d Deployment) units.Dollars {
+	return s.CAPEX() + d.OPEX(s.AvgPower)
+}
+
+// SystemFor builds the bill of materials for a Table 2 platform, with the
+// DSCS ASIC priced by the die-cost model.
+func SystemFor(p platform.Compute, dieCost units.Dollars) SystemCost {
+	const (
+		computeServer = 2600 // c5.4xlarge-class slice
+		storageServer = 2400 // storage node with accelerated drives
+		storageFleet  = 1200 // plain disaggregated storage share
+		networkShare  = 400
+		f3Share       = 1040 // 40% of a compute slice for f3
+		plainDrive    = 700
+	)
+	name := p.Name()
+	switch p.Class() {
+	case platform.Traditional:
+		acc := p.Price() - computeServer // platform prices bundle the host
+		if acc < 0 {
+			acc = 0
+		}
+		return SystemCost{
+			Platform: name, Server: computeServer, Accelerator: acc,
+			StorageFleet: storageFleet, Network: networkShare,
+			AvgPower: avgPower(p),
+		}
+	case platform.InStorageDSA:
+		return SystemCost{
+			Platform: name, Server: storageServer,
+			Accelerator:      plainDrive + dieCost,
+			Network:          networkShare,
+			ComputeNodeShare: f3Share,
+			AvgPower:         avgPower(p),
+		}
+	default: // near-storage
+		return SystemCost{
+			Platform: name, Server: storageServer, Accelerator: p.Price(),
+			Network: networkShare, ComputeNodeShare: f3Share,
+			AvgPower: avgPower(p),
+		}
+	}
+}
+
+// avgPower estimates the serving-time average draw of the platform system.
+func avgPower(p platform.Compute) units.Power {
+	switch p.Class() {
+	case platform.Traditional:
+		// Host draw plus the accelerator at a serving duty cycle.
+		return 95 + p.TDP()*0.35
+	case platform.InStorageDSA:
+		// Drive + DSA + storage-node and f3 shares.
+		return 9 + p.TDP() + 30
+	default:
+		return 9 + p.TDP()*0.7 + 30
+	}
+}
+
+// Efficiency computes the paper's metric for a platform serving at the
+// given sustained request rate.
+func Efficiency(throughputRPS float64, s SystemCost, d Deployment) float64 {
+	total := float64(s.Total(d))
+	if total <= 0 {
+		return 0
+	}
+	return throughputRPS * d.ActiveTime().Seconds() / total
+}

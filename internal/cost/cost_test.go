@@ -1,0 +1,119 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"dscs/internal/platform"
+	"dscs/internal/power"
+	"dscs/internal/units"
+)
+
+func TestDieCostModel(t *testing.T) {
+	m := Default14nm()
+	// The DSCS DSA die: 128x128 PEs + 4 MiB at 14 nm is ~20-35 mm^2.
+	area := power.DieArea(power.Node14nm, 128*128, 4*units.MiB)
+	if area < 15 || area > 45 {
+		t.Fatalf("14nm die area = %v, want 15-45mm2", area)
+	}
+	dies := m.DiesPerWafer(area)
+	if dies < 1500 || dies > 4000 {
+		t.Errorf("dies per wafer = %.0f, want 1500-4000", dies)
+	}
+	y := m.Yield(area)
+	if y < 0.9 || y > 1 {
+		t.Errorf("yield = %.3f, want >0.9 for a small die", y)
+	}
+	c := m.DieCost(area)
+	// Paper-era small-ASIC pricing: tens of dollars dominated by NRE.
+	if c < 30 || c > 90 {
+		t.Errorf("die cost = %v, want $30-90", c)
+	}
+}
+
+func TestYieldDecreasesWithArea(t *testing.T) {
+	m := Default14nm()
+	prev := 1.0
+	for _, a := range []units.Area{10, 100, 400, 800} {
+		y := m.Yield(a)
+		if y >= prev {
+			t.Fatalf("yield must fall with area: %v at %v", y, a)
+		}
+		prev = y
+	}
+}
+
+func TestBigDieCostsMore(t *testing.T) {
+	m := Default14nm()
+	small := m.DieCost(30)
+	big := m.DieCost(600) // GPU-class die
+	if big <= small {
+		t.Errorf("600mm2 die (%v) should cost more than 30mm2 (%v)", big, small)
+	}
+	if m.DieCost(0) != 0 {
+		t.Error("zero-area die should cost nothing")
+	}
+}
+
+func TestDeploymentMath(t *testing.T) {
+	d := PaperDeployment()
+	// 3 years at 30%: 7884 hours.
+	hours := d.ActiveTime().Hours()
+	if math.Abs(hours-7884) > 1 {
+		t.Fatalf("active hours = %.0f, want 7884", hours)
+	}
+	// 100 W for that time at $0.0975/kWh and PUE 1.5: ~$115.
+	opex := d.OPEX(100)
+	if opex < 100 || opex < 110 || opex > 125 {
+		t.Errorf("OPEX(100W) = %v, want ~$115", opex)
+	}
+	if d.OPEX(0) != 0 {
+		t.Error("zero power should cost nothing")
+	}
+}
+
+func TestSystemCosts(t *testing.T) {
+	die := Default14nm().DieCost(power.DieArea(power.Node14nm, 128*128, 4*units.MiB))
+	base := SystemFor(platform.BaselineCPU(), die)
+	gpu := SystemFor(platform.GPU(), die)
+	dscs := SystemFor(platform.DSCS(), die)
+	nsfpga := SystemFor(platform.NSFPGA(), die)
+
+	if base.CAPEX() <= 0 || gpu.CAPEX() <= base.CAPEX() {
+		t.Errorf("GPU system (%v) must cost more than baseline (%v)",
+			gpu.CAPEX(), base.CAPEX())
+	}
+	// The DSCS system replaces the GPU-class accelerator with a cheap die;
+	// its CAPEX sits near the baseline's.
+	ratio := float64(dscs.CAPEX()) / float64(base.CAPEX())
+	if ratio < 0.8 || ratio > 1.4 {
+		t.Errorf("DSCS/baseline CAPEX ratio = %.2f, want ~1", ratio)
+	}
+	// The SmartSSD premium makes NS-FPGA pricier than DSCS.
+	if nsfpga.CAPEX() <= dscs.CAPEX() {
+		t.Errorf("NS-FPGA CAPEX (%v) should exceed DSCS (%v)",
+			nsfpga.CAPEX(), dscs.CAPEX())
+	}
+	// Traditional platforms burn far more power than the DSCS system.
+	if gpu.AvgPower <= dscs.AvgPower {
+		t.Errorf("GPU avg power (%v) should exceed DSCS (%v)",
+			gpu.AvgPower, dscs.AvgPower)
+	}
+}
+
+func TestEfficiencyOrdering(t *testing.T) {
+	d := PaperDeployment()
+	die := Default14nm().DieCost(30)
+	base := SystemFor(platform.BaselineCPU(), die)
+	dscs := SystemFor(platform.DSCS(), die)
+	// With ~3.8x the throughput at similar cost, DSCS's efficiency is a
+	// multiple of the baseline's.
+	eBase := Efficiency(3.3, base, d)
+	eDSCS := Efficiency(12.6, dscs, d)
+	if eDSCS <= 2.5*eBase {
+		t.Errorf("DSCS efficiency %.1f should be >2.5x baseline %.1f", eDSCS, eBase)
+	}
+	if Efficiency(1, SystemCost{}, d) != 0 {
+		t.Error("zero-cost system should yield zero efficiency (guard)")
+	}
+}

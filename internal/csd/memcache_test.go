@@ -1,0 +1,162 @@
+package csd
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dscs/internal/units"
+)
+
+func newManager(t *testing.T, capacity units.Bytes) *MemoryManager {
+	t.Helper()
+	d, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMemoryManager(d, capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func img(name string, mb int) FunctionImage {
+	return FunctionImage{Name: name, Bytes: units.Bytes(mb) * units.MB}
+}
+
+func TestFirstUseComesFromRegistry(t *testing.T) {
+	m := newManager(t, 512*units.MB)
+	lat, energy, src, err := m.Ensure(img("resnet", 26))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != FromRegistry {
+		t.Fatalf("first load source = %v", src)
+	}
+	if lat <= 0 || energy <= 0 {
+		t.Fatal("first load must cost something")
+	}
+	if !m.Resident("resnet") {
+		t.Fatal("image should now be resident")
+	}
+}
+
+func TestWarmHitIsFree(t *testing.T) {
+	m := newManager(t, 512*units.MB)
+	m.Ensure(img("bert", 110))
+	lat, energy, src, err := m.Ensure(img("bert", 110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != FromResident || lat != 0 || energy != 0 {
+		t.Fatalf("warm hit should be free: %v %v %v", src, lat, energy)
+	}
+	hits, _, _, _ := m.Stats()
+	if hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+}
+
+func TestEvictionToFlashAndP2PReload(t *testing.T) {
+	m := newManager(t, 200*units.MB)
+	m.Ensure(img("a", 110))
+	m.Ensure(img("b", 80))
+	// "c" forces evicting "a" (LRU).
+	if _, _, _, err := m.Ensure(img("c", 90)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Resident("a") {
+		t.Fatal("LRU victim still resident")
+	}
+	if !m.Resident("b") || !m.Resident("c") {
+		t.Fatal("wrong eviction victim")
+	}
+	_, _, _, evictions := m.Stats()
+	if evictions != 1 {
+		t.Fatalf("evictions = %d", evictions)
+	}
+
+	// Reloading "a" comes from flash over P2P — much cheaper than the
+	// registry (the Section 5.3 claim).
+	m.Ensure(img("b", 80)) // keep b warm so a's reload evicts c
+	lat, _, src, err := m.Ensure(img("a", 110))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != FromFlash {
+		t.Fatalf("reload source = %v, want flash", src)
+	}
+	registryCost := 25*time.Millisecond + (1250 * units.MBps).TransferTime(110*units.MB)
+	if lat >= registryCost {
+		t.Errorf("P2P reload (%v) should beat the registry (%v)", lat, registryCost)
+	}
+}
+
+func TestLRUOrdering(t *testing.T) {
+	m := newManager(t, 300*units.MB)
+	m.Ensure(img("a", 100))
+	m.Ensure(img("b", 100))
+	m.Ensure(img("c", 100))
+	// Touch "a" so "b" becomes LRU.
+	m.Ensure(img("a", 100))
+	m.Ensure(img("d", 100)) // evicts b
+	if m.Resident("b") {
+		t.Fatal("LRU (b) should have been evicted")
+	}
+	if !m.Resident("a") || !m.Resident("c") || !m.Resident("d") {
+		t.Fatal("wrong residency set")
+	}
+}
+
+func TestOversizedImageRejected(t *testing.T) {
+	m := newManager(t, 100*units.MB)
+	if _, _, _, err := m.Ensure(img("huge", 200)); err == nil {
+		t.Fatal("image above DRAM capacity must be rejected")
+	}
+	if _, _, _, err := m.Ensure(FunctionImage{}); err == nil {
+		t.Fatal("empty image must be rejected")
+	}
+}
+
+func TestManagerConstructionErrors(t *testing.T) {
+	d, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewMemoryManager(nil, units.MB, nil); err == nil {
+		t.Error("nil drive must fail")
+	}
+	if _, err := NewMemoryManager(d, 0, nil); err == nil {
+		t.Error("zero capacity must fail")
+	}
+}
+
+func TestCapacityInvariantProperty(t *testing.T) {
+	m := newManager(t, 256*units.MB)
+	names := []string{"w", "x", "y", "z", "v"}
+	sizes := []int{40, 70, 100, 130, 110} // fixed per name
+	f := func(ops []uint8) bool {
+		for _, op := range ops {
+			i := int(op) % len(names)
+			if _, _, _, err := m.Ensure(img(names[i], sizes[i])); err != nil {
+				return false
+			}
+			if m.Used() > 256*units.MB {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadSourceNames(t *testing.T) {
+	for _, s := range []LoadSource{FromResident, FromFlash, FromRegistry} {
+		if s.String() == "unknown" {
+			t.Errorf("source %d unnamed", s)
+		}
+	}
+}

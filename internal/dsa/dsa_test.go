@@ -1,0 +1,232 @@
+package dsa_test
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/compiler"
+	"dscs/internal/dsa"
+	"dscs/internal/isa"
+	"dscs/internal/model"
+	"dscs/internal/power"
+	"dscs/internal/units"
+)
+
+func mustSim(t *testing.T, cfg dsa.Config) *dsa.Simulator {
+	t.Helper()
+	s, err := dsa.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustRun(t *testing.T, s *dsa.Simulator, g *model.Graph, batch int) dsa.Stats {
+	t.Helper()
+	p, err := compiler.Compile(g, batch, s.Config(), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestPaperOptimalConfig(t *testing.T) {
+	cfg := dsa.PaperOptimal()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Rows != 128 || cfg.Cols != 128 {
+		t.Errorf("array = %dx%d, want 128x128", cfg.Rows, cfg.Cols)
+	}
+	if cfg.TotalBuf() != 4*units.MiB {
+		t.Errorf("buffers = %v, want 4MiB", cfg.TotalBuf())
+	}
+	if cfg.DRAM != power.DDR5 {
+		t.Errorf("memory = %v, want DDR5", cfg.DRAM)
+	}
+	if cfg.String() != "Dim128-4.19MB-DDR5" {
+		t.Errorf("label = %q", cfg.String())
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []dsa.Config{
+		{},
+		func() dsa.Config { c := dsa.PaperOptimal(); c.Rows = 0; return c }(),
+		func() dsa.Config { c := dsa.PaperOptimal(); c.InputBuf = 0; return c }(),
+		func() dsa.Config { c := dsa.PaperOptimal(); c.VPULanes = 0; return c }(),
+		func() dsa.Config { c := dsa.PaperOptimal(); c.Freq = 0; return c }(),
+	}
+	for i, c := range bad {
+		if _, err := dsa.New(c); err == nil {
+			t.Errorf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestResNet50Throughput(t *testing.T) {
+	// The 128x128 @1GHz design should run ResNet-50 batch-1 in roughly
+	// 0.5-4 ms (hundreds to thousands of fps, the range in Figure 7).
+	s := mustSim(t, dsa.PaperOptimal())
+	st := mustRun(t, s, model.ResNet50(), 1)
+	lat := st.Latency(s.Config().Freq)
+	if lat < 300*time.Microsecond || lat > 6*time.Millisecond {
+		t.Errorf("resnet-50 latency = %v, want 0.3-6ms", lat)
+	}
+	util := st.Utilization(s.Config())
+	if util < 0.05 || util > 1 {
+		t.Errorf("utilization = %.3f", util)
+	}
+}
+
+func TestBatchAmortizesWeights(t *testing.T) {
+	// Weight-bound models (BERT) gain large per-item speedups from
+	// batching; per-item latency at batch 64 must be well under batch-1
+	// latency (Figure 14's mechanism).
+	s := mustSim(t, dsa.PaperOptimal())
+	g := model.BERTBaseChatbot()
+	l1 := mustRun(t, s, g, 1).Latency(s.Config().Freq)
+	l64 := mustRun(t, s, g, 64).Latency(s.Config().Freq)
+	perItem := l64 / 64
+	if perItem >= l1 {
+		t.Errorf("batching must help: batch-1 %v vs per-item %v", l1, perItem)
+	}
+	if float64(l1)/float64(perItem) < 2 {
+		t.Errorf("weight-bound model should gain >2x from batch 64, got %.2fx",
+			float64(l1)/float64(perItem))
+	}
+}
+
+func TestBigArrayWorseAtBatchOne(t *testing.T) {
+	// The paper's key DSE finding: at batch 1 a 1024x1024 array is slower
+	// than 128x128 because fill/drain and tile DMA dominate.
+	small := dsa.PaperOptimal()
+	big := dsa.PaperOptimal()
+	big.Rows, big.Cols = 1024, 1024
+	big = big.WithBuffers(32 * units.MiB)
+	sSmall := mustSim(t, small)
+	sBig := mustSim(t, big)
+	suite := []*model.Graph{model.ResNet50(), model.BERTBaseChatbot(), model.ViTRemoteSensing()}
+	var smallTotal, bigTotal time.Duration
+	for _, g := range suite {
+		smallTotal += mustRun(t, sSmall, g, 1).Latency(small.Freq)
+		bigTotal += mustRun(t, sBig, g, 1).Latency(big.Freq)
+	}
+	if bigTotal <= smallTotal {
+		t.Errorf("1024x1024 (%v) should be slower than 128x128 (%v) at batch 1",
+			bigTotal, smallTotal)
+	}
+}
+
+func TestDoubleBufferingHelps(t *testing.T) {
+	on := dsa.PaperOptimal()
+	off := dsa.PaperOptimal()
+	off.DoubleBuffered = false
+	sOn := mustSim(t, on)
+	sOff := mustSim(t, off)
+	g := model.ResNet50()
+	lOn := mustRun(t, sOn, g, 1).Latency(on.Freq)
+	lOff := mustRun(t, sOff, g, 1).Latency(off.Freq)
+	if lOn >= lOff {
+		t.Errorf("double buffering must help: on=%v off=%v", lOn, lOff)
+	}
+}
+
+func TestMemoryBandwidthMatters(t *testing.T) {
+	ddr4 := dsa.PaperOptimal()
+	ddr4.DRAM = power.DDR4
+	hbm := dsa.PaperOptimal()
+	hbm.DRAM = power.HBM2
+	sD := mustSim(t, ddr4)
+	sH := mustSim(t, hbm)
+	// A memory-bound model (BERT batch-1 streams 110M weights).
+	g := model.BERTBaseChatbot()
+	lD := mustRun(t, sD, g, 1).Latency(ddr4.Freq)
+	lH := mustRun(t, sH, g, 1).Latency(hbm.Freq)
+	if lH >= lD {
+		t.Errorf("HBM2 must beat DDR4 on weight streaming: %v vs %v", lH, lD)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	s := mustSim(t, dsa.PaperOptimal())
+	g := model.InceptionV3Clinical()
+	st := mustRun(t, s, g, 1)
+	if st.MACs != g.MACs() {
+		t.Errorf("sim MACs %d != graph MACs %d", st.MACs, g.MACs())
+	}
+	if st.Cycles == 0 || st.DRAMBytes <= 0 || st.SRAMBytes < st.DRAMBytes {
+		t.Errorf("degenerate stats: %+v", st)
+	}
+	if st.ComputeCycles == 0 || st.MemCycles == 0 {
+		t.Error("compute and memory cycles must both be non-zero")
+	}
+}
+
+func TestEnergyPositiveAndScalesWithNode(t *testing.T) {
+	s := mustSim(t, dsa.PaperOptimal())
+	st := mustRun(t, s, model.ResNet50(), 1)
+	e45, p45 := s.Energy(st, power.Node45nm)
+	e14, p14 := s.Energy(st, power.Node14nm)
+	if e45 <= 0 || e14 <= 0 {
+		t.Fatal("energy must be positive")
+	}
+	if e14 >= e45 || p14 >= p45 {
+		t.Errorf("14nm must be more efficient: e %v vs %v", e14, e45)
+	}
+	// The paper quotes ~4.2 W for the running DSA at 14 nm.
+	if p14 < 1 || p14 > 10 {
+		t.Errorf("14nm average power = %v, want 1-10W", p14)
+	}
+}
+
+func TestPerLayerCollection(t *testing.T) {
+	s := mustSim(t, dsa.PaperOptimal())
+	s.KeepPerLayer(true)
+	p, err := compiler.Compile(model.ResNet18Moderation(), 1, s.Config(), compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.PerLayer) != len(p.Instrs) {
+		t.Fatalf("per-layer stats %d != instrs %d", len(st.PerLayer), len(p.Instrs))
+	}
+	var sum uint64
+	for _, ls := range st.PerLayer {
+		sum += ls.Cycles
+	}
+	if sum != st.Cycles {
+		t.Errorf("per-layer cycles %d != total %d", sum, st.Cycles)
+	}
+}
+
+func TestRunRejectsInvalidProgram(t *testing.T) {
+	s := mustSim(t, dsa.PaperOptimal())
+	bad := &isa.Program{Instrs: []isa.Instr{{Op: isa.OpGEMMLoop}}}
+	if _, err := s.Run(bad); err == nil {
+		t.Error("invalid program must be rejected")
+	}
+}
+
+func TestSyncAndLoadCycles(t *testing.T) {
+	s := mustSim(t, dsa.PaperOptimal())
+	p := &isa.Program{Instrs: []isa.Instr{
+		{Op: isa.OpLoad, Layer: "in", Bytes: 38 * units.MB}, // 1ms at DDR5
+		{Op: isa.OpSync},
+	}}
+	st, err := s.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := st.Latency(s.Config().Freq)
+	if lat < 900*time.Microsecond || lat > 1100*time.Microsecond {
+		t.Errorf("38MB load at DDR5 = %v, want ~1ms", lat)
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+
+	"dscs/internal/faas"
+	"dscs/internal/metrics"
+)
+
+// TestCalibrationProbe prints the per-benchmark end-to-end latencies and
+// speedups across platforms at the median network quantile. Run with -v to
+// inspect; assertions live in the figure tests.
+func TestCalibrationProbe(t *testing.T) {
+	env, err := NewEnvironment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := faas.Options{Quantile: 0.5}
+	base := map[string]float64{}
+	for _, b := range env.Suite {
+		res, err := env.Baseline().Invoke(b, opt)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", b.Slug, err)
+		}
+		base[b.Slug] = res.Total().Seconds()
+		t.Logf("%-16s baseline total=%.0fms stack=%.0f read=%.0f compute=%.0f write=%.0f notify=%.0f",
+			b.Slug, res.Total().Seconds()*1e3,
+			res.Breakdown.Stack.Seconds()*1e3,
+			res.Breakdown.RemoteRead.Seconds()*1e3,
+			res.Breakdown.Compute.Seconds()*1e3,
+			res.Breakdown.RemoteWrite.Seconds()*1e3,
+			res.Breakdown.Notify.Seconds()*1e3)
+	}
+	for _, p := range env.Platforms {
+		if p.Name() == "Baseline (CPU)" {
+			continue
+		}
+		r := env.Runners[p.Name()]
+		var speedups []float64
+		line := ""
+		for _, b := range env.Suite {
+			res, err := r.Invoke(b, opt)
+			if err != nil {
+				t.Fatalf("%s %s: %v", p.Name(), b.Slug, err)
+			}
+			s := base[b.Slug] / res.Total().Seconds()
+			speedups = append(speedups, s)
+			line += " " + b.Slug[:4] + "=" + fmtF(s)
+		}
+		t.Logf("%-20s geomean=%.2f %s", p.Name(), metrics.Geomean(speedups), line)
+	}
+}
+
+func fmtF(f float64) string {
+	return string(rune('0'+int(f))) + "." + string(rune('0'+(int(f*10)%10)))
+}

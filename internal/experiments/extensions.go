@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"dscs/internal/cluster"
+	"dscs/internal/csd"
+	"dscs/internal/faas"
+	"dscs/internal/metrics"
+	"dscs/internal/sched"
+	"dscs/internal/trace"
+	"dscs/internal/units"
+)
+
+// The extension experiments implement what the paper leaves as future work
+// or describes without evaluating: Section 5.3's optimized scheduling
+// policies, the keep-warm DSA memory manager with P2P reloads, and
+// Section 5.2's parallel execution across multiple CSDs.
+
+// ExtScheduling evaluates the Section 5.3 scheduling hypothesis: over a
+// scarce heterogeneous pool, criticality-aware and DAG-aware placement
+// beat the deployed FCFS policy.
+func ExtScheduling(env *Environment) (*Result, error) {
+	// Expected service times per class come from the calibrated runners.
+	baseService, err := env.serviceModel(env.Platforms[0].Name())
+	if err != nil {
+		return nil, err
+	}
+	dscsService, err := env.serviceModel("DSCS-Serverless")
+	if err != nil {
+		return nil, err
+	}
+	rng := env.RNG.Split()
+	service := func(slug string) (cpu, dscs time.Duration, accel int) {
+		return baseService(slug, rng), dscsService(slug, rng), 2
+	}
+
+	cfg := trace.BurstyConfig{
+		Duration: 5 * time.Minute, BaseRate: 170, BurstRate: 260,
+		BurstEvery: 90 * time.Second, BurstLength: 25 * time.Second,
+	}
+	tr, err := trace.Generate(cfg, env.Suite, env.RNG.Split())
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Extension: scheduling policies over a 28 CPU + 6 DSCS pool",
+		"Policy", "Mean latency (ms)", "p99 (ms)", "Served on DSCS")
+	values := map[string]float64{}
+	for _, policy := range []sched.Policy{
+		sched.FCFSPolicy{}, sched.CriticalityPolicy{}, sched.DAGAwarePolicy{},
+	} {
+		st, err := cluster.RunHybrid(tr, cluster.HybridConfig{
+			CPUInstances: 28, DSCSInstances: 6, QueueDepth: 100000,
+			Policy: policy, Jitter: 0.15,
+			Service: service,
+		}, env.Seed+7)
+		if err != nil {
+			return nil, err
+		}
+		mean := float64(st.Latency.Mean()) / float64(time.Millisecond)
+		t.AddRow(policy.Name(), mean,
+			float64(st.Latency.Percentile(0.99))/float64(time.Millisecond),
+			st.OnDSCS)
+		values["mean_ms/"+policy.Name()] = mean
+	}
+	values["criticality_gain"] = values["mean_ms/fcfs"] / values["mean_ms/criticality"]
+	values["dag_gain"] = values["mean_ms/fcfs"] / values["mean_ms/dag-aware"]
+	return &Result{
+		ID: "ext-sched", Title: "Scheduling-policy future work (Section 5.3)",
+		Table: t, Values: values,
+	}, nil
+}
+
+// ExtMemcache studies the keep-warm memory manager: a function mix cycling
+// through the DSA's DRAM, with P2P flash reloads replacing registry pulls
+// (Section 5.3's cold-start mitigation).
+func ExtMemcache(env *Environment) (*Result, error) {
+	drive, err := csd.New(csd.Default())
+	if err != nil {
+		return nil, err
+	}
+	mgr, err := csd.NewMemoryManager(drive, 160*units.MB, nil)
+	if err != nil {
+		return nil, err
+	}
+	// Zipf-ish access pattern over the suite's int8 model images, with the
+	// largest models the most popular so the DRAM genuinely thrashes.
+	images := make([]csd.FunctionImage, 0, len(env.Suite))
+	for _, b := range env.Suite {
+		images = append(images, csd.FunctionImage{
+			Name:  b.Slug,
+			Bytes: units.Bytes(b.Model.Params()), // int8: one byte per weight
+		})
+	}
+	sort.Slice(images, func(i, j int) bool { return images[i].Bytes > images[j].Bytes })
+	rng := env.RNG.Split()
+	var registryTime, flashTime time.Duration
+	const accesses = 400
+	for i := 0; i < accesses; i++ {
+		// Skewed popularity: low indices dominate.
+		idx := 0
+		for idx < len(images)-1 && rng.Float64() < 0.45 {
+			idx++
+		}
+		lat, _, src, err := mgr.Ensure(images[idx])
+		if err != nil {
+			return nil, err
+		}
+		switch src {
+		case csd.FromRegistry:
+			registryTime += lat
+		case csd.FromFlash:
+			flashTime += lat
+		}
+	}
+	hits, flashLoads, registryLoads, evictions := mgr.Stats()
+
+	t := metrics.NewTable("Extension: DSA keep-warm memory manager (160 MB DRAM)",
+		"Metric", "Value")
+	t.AddRow("accesses", accesses)
+	t.AddRow("warm hits", hits)
+	t.AddRow("P2P flash reloads", flashLoads)
+	t.AddRow("registry pulls", registryLoads)
+	t.AddRow("evictions", evictions)
+	values := map[string]float64{
+		"hit_rate":       float64(hits) / accesses,
+		"flash_loads":    float64(flashLoads),
+		"registry_loads": float64(registryLoads),
+		"evictions":      float64(evictions),
+	}
+	if flashLoads > 0 && registryLoads > 0 {
+		avgFlash := flashTime / time.Duration(flashLoads)
+		avgRegistry := registryTime / time.Duration(registryLoads)
+		t.AddRow("avg P2P reload (ms)", float64(avgFlash)/float64(time.Millisecond))
+		t.AddRow("avg registry pull (ms)", float64(avgRegistry)/float64(time.Millisecond))
+		values["p2p_vs_registry"] = float64(avgRegistry) / float64(avgFlash)
+	}
+	return &Result{
+		ID: "ext-memcache", Title: "Keep-warm with P2P reloads (Section 5.3)",
+		Table: t, Values: values,
+	}, nil
+}
+
+// ExtScatter sweeps the Section 5.2 multi-CSD option: one large batched
+// request executed on one drive versus partitioned across both.
+func ExtScatter(env *Environment) (*Result, error) {
+	r := env.DSCS()
+	t := metrics.NewTable("Extension: multi-CSD scatter/gather (Section 5.2)",
+		"Benchmark", "Batch", "One drive (ms)", "Two drives (ms)", "Gain")
+	values := map[string]float64{}
+	for _, slug := range []string{"ppe-detection", "clinical", "remote-sensing"} {
+		b := suiteBySlug(env, slug)
+		opt := faas.Options{Quantile: 0.5, Batch: 8}
+		single, err := r.Invoke(b, opt)
+		if err != nil {
+			return nil, err
+		}
+		scattered, err := r.InvokeScattered(b, opt, 2)
+		if err != nil {
+			return nil, err
+		}
+		gain := single.Total().Seconds() / scattered.Total().Seconds()
+		t.AddRow(slug, opt.Batch,
+			single.Total().Seconds()*1e3, scattered.Total().Seconds()*1e3, gain)
+		values["gain/"+slug] = gain
+	}
+	return &Result{
+		ID: "ext-scatter", Title: "Parallel execution across CSDs (Section 5.2)",
+		Table: t, Values: values,
+	}, nil
+}
+
+// ExtFailover exercises the fault-tolerance path: the DSCS drive holding a
+// benchmark's data dies mid-service; execution falls back to conventional
+// nodes, and re-replication restores both durability and acceleration.
+func ExtFailover(env *Environment) (*Result, error) {
+	r := env.DSCS()
+	b := suiteBySlug(env, "asset-damage")
+	opt := faas.Options{Quantile: 0.5}
+
+	before, err := r.Invoke(b, opt)
+	if err != nil {
+		return nil, err
+	}
+	node, _, ok := env.Store.DSCSReplicaHealthy(b.Slug + "/input")
+	if !ok {
+		return nil, fmt.Errorf("ext-failover: no DSCS replica to kill")
+	}
+	if err := env.Store.FailNode(node.ID); err != nil {
+		return nil, err
+	}
+	during, err := r.Invoke(b, opt) // falls back to conventional execution
+	if err != nil {
+		return nil, err
+	}
+	chunks, movedBytes, err := env.Store.ReReplicate(node.ID)
+	if err != nil {
+		return nil, err
+	}
+	if err := env.Store.RecoverNode(node.ID); err != nil {
+		return nil, err
+	}
+	after, err := r.Invoke(b, opt)
+	if err != nil {
+		return nil, err
+	}
+
+	t := metrics.NewTable("Extension: DSCS drive failure and recovery (Sections 5.2-5.3)",
+		"Phase", "Latency (ms)", "Path")
+	t.AddRow("healthy", before.Total().Seconds()*1e3, "in-storage DSA")
+	t.AddRow("drive down", during.Total().Seconds()*1e3, "conventional fallback")
+	t.AddRow("repaired", after.Total().Seconds()*1e3, "in-storage DSA")
+	values := map[string]float64{
+		"healthy_ms":       before.Total().Seconds() * 1e3,
+		"fallback_ms":      during.Total().Seconds() * 1e3,
+		"repaired_ms":      after.Total().Seconds() * 1e3,
+		"repaired_chunks":  float64(chunks),
+		"repaired_mb":      float64(movedBytes) / 1e6,
+		"fallback_penalty": during.Total().Seconds() / before.Total().Seconds(),
+	}
+	return &Result{
+		ID: "ext-failover", Title: "Fail-over and re-replication (Sections 5.2-5.3)",
+		Table: t, Values: values,
+	}, nil
+}

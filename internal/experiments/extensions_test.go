@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// Extension experiments intentionally damage and repair their cluster
+// (node failures, re-replication, scatter partitions), so they run on a
+// dedicated environment rather than the figure tests' pristine one.
+var (
+	extOnce sync.Once
+	extEnv  *Environment
+	extErr  error
+)
+
+func runExt(t *testing.T, id string) *Result {
+	t.Helper()
+	extOnce.Do(func() {
+		extEnv, extErr = NewEnvironment(1042)
+	})
+	if extErr != nil {
+		t.Fatal(extErr)
+	}
+	spec, ok := ByID(id)
+	if !ok {
+		t.Fatalf("unknown experiment %q", id)
+	}
+	res, err := spec.Run(extEnv)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	return res
+}
+
+func TestExtScheduling(t *testing.T) {
+	res := runExt(t, "ext-sched")
+	// The Section 5.3 hypothesis holds: both refinements beat FCFS under
+	// contention.
+	if res.Value("criticality_gain") <= 1.0 {
+		t.Errorf("criticality gain = %.3f, want >1", res.Value("criticality_gain"))
+	}
+	if res.Value("dag_gain") <= 0.95 {
+		t.Errorf("dag-aware gain = %.3f, want ~>=1", res.Value("dag_gain"))
+	}
+	if res.Value("mean_ms/fcfs") <= 0 {
+		t.Error("degenerate FCFS latency")
+	}
+}
+
+func TestExtMemcache(t *testing.T) {
+	res := runExt(t, "ext-memcache")
+	// The skewed mix keeps hot functions resident...
+	within(t, res, "hit_rate", 0.25, 0.92)
+	// ...and once evictions start, reloads come from flash, not the
+	// registry (each image is pulled over the network at most once).
+	if v := res.Value("registry_loads"); v < 5 || v > 8 {
+		t.Errorf("registry pulls = %.0f, want at most one per touched function", v)
+	}
+	if res.Value("evictions") > 0 && res.Value("flash_loads") == 0 {
+		t.Error("evictions occurred but nothing reloaded from flash")
+	}
+	if v := res.Value("p2p_vs_registry"); v != 0 && v < 1.2 {
+		t.Errorf("P2P reload advantage = %.2fx, want >1.2x", v)
+	}
+}
+
+func TestExtScatter(t *testing.T) {
+	res := runExt(t, "ext-scatter")
+	for _, slug := range []string{"ppe-detection", "clinical", "remote-sensing"} {
+		if g := res.Value("gain/" + slug); g <= 1.0 {
+			t.Errorf("scatter gain for %s = %.2f, want >1", slug, g)
+		}
+	}
+}
+
+func TestExtFailover(t *testing.T) {
+	res := runExt(t, "ext-failover")
+	// Fallback is slower than in-storage execution but still serves.
+	if res.Value("fallback_penalty") <= 1.2 {
+		t.Errorf("fallback penalty = %.2f, want a clear slowdown", res.Value("fallback_penalty"))
+	}
+	// Repair moved data and restored the accelerated path.
+	if res.Value("repaired_chunks") <= 0 || res.Value("repaired_mb") <= 0 {
+		t.Error("re-replication did nothing")
+	}
+	healthy, repaired := res.Value("healthy_ms"), res.Value("repaired_ms")
+	if diff := repaired / healthy; diff < 0.8 || diff > 1.3 {
+		t.Errorf("repaired latency (%.1fms) should match healthy (%.1fms)", repaired, healthy)
+	}
+}

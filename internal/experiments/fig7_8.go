@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"dscs/internal/dse"
+	"dscs/internal/metrics"
+	"dscs/internal/power"
+)
+
+// exploreSpace runs the paper's full design-space exploration once per
+// environment (it is shared by Figures 7 and 8).
+func (e *Environment) explore() ([]dse.Point, error) {
+	if e.dsePoints != nil {
+		return e.dsePoints, nil
+	}
+	points, err := dse.Explore(dse.PaperSpace(), power.Node45nm)
+	if err != nil {
+		return nil, err
+	}
+	e.dsePoints = points
+	return points, nil
+}
+
+// paretoResult renders one frontier figure.
+func paretoResult(id, title, yName string, points []dse.Point,
+	frontier []dse.Point, axes func(dse.Point) (float64, float64)) (*Result, error) {
+	t := metrics.NewTable(title, "Design point", "Throughput(req/s)", yName, "Feasible")
+	for _, p := range frontier {
+		x, y := axes(p)
+		t.AddRow(p.Label(), x, y, p.Feasible)
+	}
+	coeffs, err := dse.FitCubic(frontier, axes)
+	if err != nil {
+		return nil, err
+	}
+	values := map[string]float64{
+		"configs_explored": float64(len(points)),
+		"frontier_points":  float64(len(frontier)),
+		"fit_c0":           coeffs[0],
+		"fit_c1":           coeffs[1],
+		"fit_c2":           coeffs[2],
+		"fit_c3":           coeffs[3],
+	}
+	best, ok := dse.Optimal(points)
+	if ok {
+		values["optimal_dim"] = float64(best.Config.Rows)
+		values["optimal_buf_mb"] = float64(best.Config.TotalBuf()) / 1e6
+		values["optimal_mem_is_ddr5"] = boolTo01(best.Config.DRAM == power.DDR5)
+		values["optimal_throughput"] = best.Throughput
+	}
+	s := &metrics.Series{Name: "frontier"}
+	for _, p := range frontier {
+		x, _ := axes(p)
+		s.Add(0, x)
+	}
+	return &Result{ID: id, Title: title, Table: t, Values: values, Series: []*metrics.Series{s}}, nil
+}
+
+// Fig7 reproduces the power-performance Pareto frontier at 45 nm with its
+// cubic fit, and reports the DSE-selected optimum (128x128, 4 MB, DDR5).
+func Fig7(env *Environment) (*Result, error) {
+	points, err := env.explore()
+	if err != nil {
+		return nil, err
+	}
+	frontier := dse.ParetoPower(points)
+	res, err := paretoResult("fig7", "Power-performance frontier, 45nm",
+		"DynPower(W)", points, frontier, dse.PowerAxes)
+	if err != nil {
+		return nil, err
+	}
+	// The paper's headline DSE finding: at batch 1 the 1024x1024 array
+	// underperforms the 128x128 (tile DMA and fill/drain dominate).
+	var t128x4mb, best128, best1024 float64
+	for _, p := range points {
+		if p.Config.DRAM != power.DDR5 {
+			continue
+		}
+		if p.Config.Rows == 128 {
+			if p.Config.TotalBuf() == 4*1024*1024 {
+				t128x4mb = p.Throughput
+			}
+			if p.Throughput > best128 {
+				best128 = p.Throughput
+			}
+		}
+		if p.Config.Rows == 1024 && p.Throughput > best1024 {
+			best1024 = p.Throughput
+		}
+	}
+	res.Values["throughput_dim128_4mb"] = t128x4mb
+	res.Values["best_throughput_dim128"] = best128
+	res.Values["best_throughput_dim1024"] = best1024
+	return res, nil
+}
+
+// Fig8 reproduces the area-performance frontier at 45 nm with its cubic fit.
+func Fig8(env *Environment) (*Result, error) {
+	points, err := env.explore()
+	if err != nil {
+		return nil, err
+	}
+	frontier := dse.ParetoArea(points)
+	return paretoResult("fig8", "Area-performance frontier, 45nm",
+		"Area(mm2)", points, frontier, dse.AreaAxes)
+}
+
+func boolTo01(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"dscs/internal/cost"
+	"dscs/internal/faas"
+	"dscs/internal/metrics"
+	"dscs/internal/power"
+	"dscs/internal/units"
+	"dscs/internal/workload"
+)
+
+// suiteResults invokes every benchmark on every platform at the median
+// network quantile, cached per environment (Figures 9-12 share it).
+func (e *Environment) suiteResults() (map[string]map[string]faas.Result, error) {
+	if e.suiteRes != nil {
+		return e.suiteRes, nil
+	}
+	out := make(map[string]map[string]faas.Result, len(e.Platforms))
+	opt := faas.Options{Quantile: 0.5}
+	for _, p := range e.Platforms {
+		r := e.Runners[p.Name()]
+		per := make(map[string]faas.Result, len(e.Suite))
+		for _, b := range e.Suite {
+			res, err := r.Invoke(b, opt)
+			if err != nil {
+				return nil, err
+			}
+			per[b.Slug] = res
+		}
+		out[p.Name()] = per
+	}
+	e.suiteRes = out
+	return out, nil
+}
+
+// speedups computes per-benchmark ratios of baseline metric over platform
+// metric, via the extract function.
+func speedups(base, plat map[string]faas.Result, suite []*workload.Benchmark,
+	extract func(faas.Result) float64) (per map[string]float64, geomean float64) {
+	per = make(map[string]float64, len(suite))
+	var ratios []float64
+	for _, b := range suite {
+		r := extract(base[b.Slug]) / extract(plat[b.Slug])
+		per[b.Slug] = r
+		ratios = append(ratios, r)
+	}
+	return per, metrics.Geomean(ratios)
+}
+
+// Fig9 reproduces the end-to-end speedup figure: every platform normalized
+// to the CPU baseline across the suite.
+func Fig9(env *Environment) (*Result, error) {
+	all, err := env.suiteResults()
+	if err != nil {
+		return nil, err
+	}
+	baseName := env.Platforms[0].Name()
+	headers := []string{"Platform"}
+	for _, b := range env.Suite {
+		headers = append(headers, b.Slug)
+	}
+	headers = append(headers, "geomean")
+	t := metrics.NewTable("Figure 9: normalized speedup over Baseline (CPU)", headers...)
+	values := map[string]float64{}
+	for _, p := range env.Platforms {
+		per, gm := speedups(all[baseName], all[p.Name()], env.Suite,
+			func(r faas.Result) float64 { return r.Total().Seconds() })
+		row := []interface{}{p.Name()}
+		for _, b := range env.Suite {
+			row = append(row, per[b.Slug])
+			values["speedup/"+p.Name()+"/"+b.Slug] = per[b.Slug]
+		}
+		row = append(row, gm)
+		t.AddRow(row...)
+		values["geomean/"+p.Name()] = gm
+	}
+	dscs := values["geomean/DSCS-Serverless"]
+	values["dscs_over_gpu"] = dscs / values["geomean/GPU (2080 Ti)"]
+	values["dscs_over_ns_arm"] = dscs / values["geomean/NS-ARM"]
+	values["dscs_over_ns_fpga"] = dscs / values["geomean/NS-FPGA (SmartSSD)"]
+	return &Result{ID: "fig9", Title: "Normalized end-to-end speedup", Table: t, Values: values}, nil
+}
+
+// Fig10 reproduces the runtime-breakdown figure: per platform and
+// benchmark, the share of each latency component.
+func Fig10(env *Environment) (*Result, error) {
+	all, err := env.suiteResults()
+	if err != nil {
+		return nil, err
+	}
+	t := metrics.NewTable("Figure 10: runtime breakdown (fraction of total)",
+		"Platform", "Benchmark", "Stack", "RemoteIO", "Compute", "DeviceIO", "Driver", "Notify")
+	values := map[string]float64{}
+	for _, p := range env.Platforms {
+		for _, b := range env.Suite {
+			r := all[p.Name()][b.Slug]
+			total := r.Total().Seconds()
+			bd := r.Breakdown
+			remote := (bd.RemoteRead + bd.RemoteWrite).Seconds() / total
+			t.AddRow(p.Name(), b.Slug,
+				bd.Stack.Seconds()/total, remote,
+				bd.Compute.Seconds()/total,
+				bd.DeviceIO.Seconds()/total,
+				bd.Driver.Seconds()/total,
+				bd.Notify.Seconds()/total)
+			values["remote_frac/"+p.Name()+"/"+b.Slug] = remote
+			values["compute_frac/"+p.Name()+"/"+b.Slug] = bd.Compute.Seconds() / total
+		}
+	}
+	return &Result{ID: "fig10", Title: "Normalized runtime breakdown", Table: t, Values: values}, nil
+}
+
+// Fig11 reproduces the system-energy-reduction figure, plus the paper's
+// compute-only comparison (the DSA's inference energy versus the CPU's).
+func Fig11(env *Environment) (*Result, error) {
+	all, err := env.suiteResults()
+	if err != nil {
+		return nil, err
+	}
+	baseName := env.Platforms[0].Name()
+	headers := []string{"Platform"}
+	for _, b := range env.Suite {
+		headers = append(headers, b.Slug)
+	}
+	headers = append(headers, "geomean")
+	t := metrics.NewTable("Figure 11: normalized system energy reduction", headers...)
+	values := map[string]float64{}
+	for _, p := range env.Platforms {
+		per, gm := speedups(all[baseName], all[p.Name()], env.Suite,
+			func(r faas.Result) float64 { return float64(r.Energy) })
+		row := []interface{}{p.Name()}
+		for _, b := range env.Suite {
+			row = append(row, per[b.Slug])
+			values["energy_reduction/"+p.Name()+"/"+b.Slug] = per[b.Slug]
+		}
+		row = append(row, gm)
+		t.AddRow(row...)
+		values["geomean/"+p.Name()] = gm
+	}
+	// Compute-only ratio: CPU inference energy over DSA inference energy.
+	_, computeRatio := speedups(all[baseName], all["DSCS-Serverless"], env.Suite,
+		func(r faas.Result) float64 { return float64(r.ComputeEnergy) })
+	values["dsa_compute_energy_ratio"] = computeRatio
+	return &Result{ID: "fig11", Title: "Normalized system energy reduction", Table: t, Values: values}, nil
+}
+
+// Fig12 reproduces the cost-efficiency figure using the E3-style model:
+// throughput x T over CAPEX + OPEX, normalized to the baseline.
+func Fig12(env *Environment) (*Result, error) {
+	all, err := env.suiteResults()
+	if err != nil {
+		return nil, err
+	}
+	die := cost.Default14nm().DieCost(power.DieArea(power.Node14nm, 128*128, 4*units.MiB))
+	dep := cost.PaperDeployment()
+	t := metrics.NewTable("Figure 12: normalized cost efficiency",
+		"Platform", "Throughput(req/s)", "CAPEX($)", "OPEX($)", "CostEff(norm)")
+	values := map[string]float64{}
+	var baseEff float64
+	for i, p := range env.Platforms {
+		// Sustained per-instance throughput: the reciprocal of the mean
+		// end-to-end latency across the suite (run-to-completion serving).
+		var totalLat float64
+		for _, b := range env.Suite {
+			totalLat += all[p.Name()][b.Slug].Total().Seconds()
+		}
+		thr := float64(len(env.Suite)) / totalLat
+		sys := cost.SystemFor(p, die)
+		eff := cost.Efficiency(thr, sys, dep)
+		if i == 0 {
+			baseEff = eff
+		}
+		norm := eff / baseEff
+		t.AddRow(p.Name(), thr, float64(sys.CAPEX()), float64(dep.OPEX(sys.AvgPower)), norm)
+		values["cost_eff/"+p.Name()] = norm
+	}
+	values["asic_die_cost"] = float64(die)
+	return &Result{ID: "fig12", Title: "Normalized cost efficiency", Table: t, Values: values}, nil
+}

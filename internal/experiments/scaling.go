@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"dscs/internal/dsa"
+	"dscs/internal/metrics"
+	"dscs/internal/power"
+	"dscs/internal/units"
+)
+
+// ExtScaling reproduces the Section 4 technology-scaling analysis: the
+// selected DSA projected across process nodes, and the largest array that
+// fits the drive's 25 W budget at each node. The argument the paper makes:
+// the design is infeasible at the 45 nm evaluation node, fits at the
+// SmartSSD-class 14 nm node, and newer nodes leave headroom for bigger
+// arrays.
+func ExtScaling(env *Environment) (*Result, error) {
+	const flashShare = units.Power(9) // the drive's flash subsystem draw
+	budget := units.Power(25)
+	selected := dsa.PaperOptimal()
+
+	t := metrics.NewTable("Extension: technology scaling of the selected DSA (Section 4)",
+		"Node", "Peak power (W)", "Die area (mm2)", "Fits 25W drive?", "Largest feasible dim")
+	values := map[string]float64{}
+	for _, node := range power.Nodes() {
+		peak := power.PeakPower(node, selected.PEs(), selected.TotalBuf(),
+			selected.Freq, selected.DRAM)
+		area := power.DieArea(node, selected.PEs(), selected.TotalBuf())
+		fits := peak+flashShare <= budget
+
+		// Sweep array dims for the largest feasible design at this node,
+		// with buffers scaled proportionally (capped at 32 MB).
+		largest := 0
+		for _, dim := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024} {
+			buf := units.Bytes(dim) * units.Bytes(dim) * 256
+			if buf < 128*units.KiB {
+				buf = 128 * units.KiB
+			}
+			if buf > 32*units.MiB {
+				buf = 32 * units.MiB
+			}
+			p := power.PeakPower(node, dim*dim, buf, selected.Freq, selected.DRAM)
+			if p+flashShare <= budget {
+				largest = dim
+			}
+		}
+		t.AddRow(node.Name, float64(peak), float64(area), fits, largest)
+		values["peak_w/"+node.Name] = float64(peak)
+		values["area_mm2/"+node.Name] = float64(area)
+		values["fits/"+node.Name] = boolTo01(fits)
+		values["largest_dim/"+node.Name] = float64(largest)
+	}
+	return &Result{
+		ID: "ext-scaling", Title: "Technology-scaling projection (Section 4)",
+		Table: t, Values: values,
+	}, nil
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestExtScaling(t *testing.T) {
+	res := runExt(t, "ext-scaling")
+	// Power and area shrink monotonically across nodes.
+	if res.Value("peak_w/14nm") >= res.Value("peak_w/45nm") ||
+		res.Value("peak_w/7nm") >= res.Value("peak_w/14nm") {
+		t.Error("peak power must shrink with the node")
+	}
+	if res.Value("area_mm2/7nm") >= res.Value("area_mm2/14nm") {
+		t.Error("area must shrink with the node")
+	}
+	// The paper's argument: the selected 128x128 design does not fit the
+	// shared 25W budget at 45nm, fits at 14nm, and 7nm leaves headroom.
+	if res.Value("fits/45nm") != 0 {
+		t.Error("45nm should be infeasible for the selected design")
+	}
+	if res.Value("fits/14nm") != 1 {
+		t.Error("14nm (the SmartSSD-class node) must fit")
+	}
+	if res.Value("largest_dim/7nm") < res.Value("largest_dim/14nm") {
+		t.Error("newer nodes must afford at least as large an array")
+	}
+	if res.Value("largest_dim/14nm") < 128 {
+		t.Errorf("14nm largest dim = %.0f, want >= 128",
+			res.Value("largest_dim/14nm"))
+	}
+}

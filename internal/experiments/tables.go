@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dscs/internal/faas"
+	"dscs/internal/metrics"
+	"dscs/internal/platform"
+)
+
+// Table1 reproduces the benchmark-suite table: application, functions,
+// model, parameter count, and payload sizes through the chain.
+func Table1(env *Environment) (*Result, error) {
+	t := metrics.NewTable("Table 1: Benchmarks",
+		"Benchmark", "Functions", "Model", "Params(M)", "GFLOPs", "Input", "Intermediate", "Output")
+	values := map[string]float64{}
+	for _, b := range env.Suite {
+		app, err := faas.AppFor(b)
+		if err != nil {
+			return nil, err
+		}
+		chain := fmt.Sprintf("%d-function chain", len(app.Chain))
+		t.AddRow(b.Name, chain, b.Model.Name,
+			float64(b.Model.Params())/1e6,
+			float64(b.Model.FLOPs())/1e9,
+			b.InputBytes.String(), b.IntermediateBytes.String(), b.OutputBytes.String())
+		values["params_m/"+b.Slug] = float64(b.Model.Params()) / 1e6
+	}
+	values["benchmarks"] = float64(len(env.Suite))
+	return &Result{ID: "table1", Title: "Benchmark suite", Table: t, Values: values}, nil
+}
+
+// Table2 reproduces the platform-specification table.
+func Table2(env *Environment) (*Result, error) {
+	t := metrics.NewTable("Table 2: Platforms",
+		"Platform", "Class", "TDP", "Price", "Location")
+	values := map[string]float64{}
+	for _, p := range env.Platforms {
+		class := "traditional + remote storage"
+		loc := "compute node"
+		switch p.Class() {
+		case platform.NearStorage:
+			class = "conventional near-storage"
+			loc = "storage node"
+		case platform.InStorageDSA:
+			class = "DSCS-Serverless"
+			loc = "inside the drive"
+		}
+		t.AddRow(p.Name(), class, p.TDP().String(), p.Price().String(), loc)
+		values["tdp_w/"+p.Name()] = float64(p.TDP())
+	}
+	values["platforms"] = float64(len(env.Platforms))
+	return &Result{ID: "table2", Title: "Platform specifications", Table: t, Values: values}, nil
+}

@@ -1,0 +1,234 @@
+package faas
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dscs/internal/csd"
+	"dscs/internal/objstore"
+	"dscs/internal/platform"
+	"dscs/internal/sim"
+	"dscs/internal/ssd"
+	"dscs/internal/workload"
+)
+
+func testStore(t *testing.T) *objstore.Store {
+	t.Helper()
+	var nodes []*objstore.Node
+	for i := 0; i < 4; i++ {
+		d, err := ssd.New(ssd.SmartSSDClass())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("ssd-%d", i), Kind: objstore.PlainSSD, SSD: d,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		d, err := csd.New(csd.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("dscs-%d", i), Kind: objstore.DSCSDrive, CSD: d,
+		})
+	}
+	s, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestInvokePathsAllPlatforms(t *testing.T) {
+	store := testStore(t)
+	b := workload.AssetDamage()
+	opt := Options{Quantile: 0.5}
+	var baseline time.Duration
+	for _, p := range platform.All() {
+		r := NewRunner(store, p)
+		res, err := r.Invoke(b, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if res.Total() <= 0 || res.Energy <= 0 {
+			t.Fatalf("%s: degenerate result %+v", p.Name(), res)
+		}
+		switch p.Class() {
+		case platform.Traditional:
+			if res.Breakdown.RemoteRead <= 0 || res.Breakdown.RemoteWrite <= 0 {
+				t.Errorf("%s: traditional path must pay remote IO", p.Name())
+			}
+			if res.Breakdown.Driver != 0 {
+				t.Errorf("%s: traditional path has no in-storage driver", p.Name())
+			}
+		case platform.NearStorage:
+			if res.Breakdown.RemoteWrite > 0 {
+				t.Errorf("%s: near-storage f1/f2 must not write remotely", p.Name())
+			}
+			if res.Breakdown.DeviceIO <= 0 {
+				t.Errorf("%s: near-storage path must pay local device IO", p.Name())
+			}
+		case platform.InStorageDSA:
+			if res.Breakdown.Driver <= 0 {
+				t.Errorf("%s: DSCS path must pay the driver", p.Name())
+			}
+			if res.Breakdown.DeviceIO <= 0 {
+				t.Errorf("%s: DSCS path must pay P2P staging", p.Name())
+			}
+			// Only f3 reads remotely.
+			if res.Breakdown.RemoteRead >= baseline/2 {
+				t.Errorf("%s: remote reads should collapse to f3's", p.Name())
+			}
+		}
+		if p.Class() == platform.Traditional && p.Name() == "Baseline (CPU)" {
+			baseline = res.Breakdown.RemoteRead
+		}
+	}
+}
+
+func TestInvokeDeterministicAtQuantile(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.BaselineCPU())
+	b := workload.Chatbot()
+	a, err := r.Invoke(b, Options{Quantile: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRes, err := r.Invoke(b, Options{Quantile: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Total() != bRes.Total() {
+		t.Errorf("quantile mode must be deterministic: %v vs %v", a.Total(), bRes.Total())
+	}
+}
+
+func TestInvokeSampledVariance(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.BaselineCPU())
+	b := workload.Moderation()
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 10; i++ {
+		res, err := r.Invoke(b, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[res.Total()] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("sampled invocations should vary, got %d distinct latencies", len(seen))
+	}
+}
+
+func TestColdStartAddsLatency(t *testing.T) {
+	store := testStore(t)
+	for _, p := range []platform.Compute{platform.BaselineCPU(), platform.DSCS()} {
+		r := NewRunner(store, p)
+		b := workload.Chatbot()
+		warm, err := r.Invoke(b, Options{Quantile: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := r.Invoke(b, Options{Quantile: 0.5, Cold: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cold.Breakdown.ColdStart <= 0 {
+			t.Errorf("%s: cold start not charged", p.Name())
+		}
+		if cold.Total() <= warm.Total() {
+			t.Errorf("%s: cold (%v) must exceed warm (%v)", p.Name(), cold.Total(), warm.Total())
+		}
+	}
+}
+
+func TestExtraFunctionsScaleBothPaths(t *testing.T) {
+	store := testStore(t)
+	b := workload.Clinical()
+	for _, p := range []platform.Compute{platform.BaselineCPU(), platform.DSCS()} {
+		r := NewRunner(store, p)
+		prev := time.Duration(0)
+		for extra := 0; extra <= 2; extra++ {
+			res, err := r.Invoke(b, Options{Quantile: 0.5, ExtraAccelFuncs: extra})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Total() <= prev {
+				t.Errorf("%s: +%d functions should cost more", p.Name(), extra)
+			}
+			prev = res.Total()
+		}
+	}
+}
+
+func TestBatchScalesPayloadAndCompute(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.BaselineCPU())
+	b := workload.AssetDamage()
+	one, err := r.Invoke(b, Options{Quantile: 0.5, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := r.Invoke(b, Options{Quantile: 0.5, Batch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.Total() <= one.Total() {
+		t.Error("batch 8 must cost more end to end")
+	}
+	if eight.Total() >= 8*one.Total() {
+		t.Error("batch 8 must amortize fixed costs")
+	}
+}
+
+func TestDSCSFallsBackWithoutDrives(t *testing.T) {
+	// A store with no DSCS nodes: the DSCS runner must fall back to the
+	// conventional path (Section 5.3 fail-over).
+	var nodes []*objstore.Node
+	for i := 0; i < 3; i++ {
+		d, err := ssd.New(ssd.SmartSSDClass())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("ssd-%d", i), Kind: objstore.PlainSSD, SSD: d,
+		})
+	}
+	store, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunner(store, platform.DSCS())
+	res, err := r.Invoke(workload.Moderation(), Options{Quantile: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown.Driver != 0 {
+		t.Error("fallback path must not touch the in-storage driver")
+	}
+	if res.Breakdown.RemoteRead <= 0 {
+		t.Error("fallback path must pay remote IO")
+	}
+}
+
+func TestChainedIntermediatesStayOnDrive(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.DSCS())
+	b := workload.PPEDetection() // 9.8MB fp32 intermediate tensor
+	res, err := r.Invoke(b, Options{Quantile: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// If the intermediate round-tripped through the store, RemoteRead/Write
+	// would carry tens of milliseconds; chained execution leaves only f3's
+	// small read.
+	if res.Breakdown.RemoteWrite > 0 {
+		t.Errorf("chained DSCS path wrote remotely: %v", res.Breakdown.RemoteWrite)
+	}
+	if res.Breakdown.RemoteRead > 40*time.Millisecond {
+		t.Errorf("f3 read too large (%v): intermediate leaked off-drive?",
+			res.Breakdown.RemoteRead)
+	}
+}

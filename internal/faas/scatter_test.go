@@ -1,0 +1,84 @@
+package faas
+
+import (
+	"testing"
+
+	"dscs/internal/platform"
+	"dscs/internal/workload"
+)
+
+func TestScatterBeatsSingleDriveAtLargeBatch(t *testing.T) {
+	store := testStore(t) // 4 SSD + 2 DSCS nodes
+	r := NewRunner(store, platform.DSCS())
+	b := workload.PPEDetection()
+	opt := Options{Quantile: 0.5, Batch: 8}
+
+	single, err := r.Invoke(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scattered, err := r.InvokeScattered(b, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scattered.Total() >= single.Total() {
+		t.Errorf("scatter across 2 drives (%v) should beat one drive (%v)",
+			scattered.Total(), single.Total())
+	}
+	if scattered.Energy <= 0 || scattered.ComputeEnergy <= 0 {
+		t.Error("scatter must account energy")
+	}
+}
+
+func TestScatterDegradesToInvoke(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.DSCS())
+	b := workload.Moderation()
+	opt := Options{Quantile: 0.5, Batch: 4}
+	direct, err := r.Invoke(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := r.InvokeScattered(b, opt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Total() != direct.Total() {
+		t.Errorf("parts=1 must equal Invoke: %v vs %v", one.Total(), direct.Total())
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	store := testStore(t)
+	// Wrong platform.
+	cpu := NewRunner(store, platform.BaselineCPU())
+	if _, err := cpu.InvokeScattered(workload.Chatbot(), Options{Batch: 4}, 2); err == nil {
+		t.Error("scatter on a CPU runner must fail")
+	}
+	// Batch smaller than partition count.
+	dscs := NewRunner(store, platform.DSCS())
+	if _, err := dscs.InvokeScattered(workload.Chatbot(), Options{Batch: 1}, 4); err == nil {
+		t.Error("batch < parts must fail")
+	}
+}
+
+func TestScatterPartitionsSerializeOnOneDrive(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.DSCS())
+	b := workload.Clinical()
+	opt := Options{Quantile: 0.5, Batch: 8}
+	// More partitions than drives: extra partitions serialize per drive,
+	// so 8 partitions on 2 drives cannot be faster than 2 partitions.
+	two, err := r.InvokeScattered(b, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := r.InvokeScattered(b, opt, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eight.Total() < two.Total()/2 {
+		t.Errorf("8 partitions (%v) implausibly faster than 2 (%v) on 2 drives",
+			eight.Total(), two.Total())
+	}
+}

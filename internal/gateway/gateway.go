@@ -1,0 +1,249 @@
+// Package gateway exposes the serverless framework over HTTP with an
+// OpenFaaS-style API: deploy an application from its YAML (with the
+// in-storage acceleration hints), invoke it, list deployments, and scrape
+// telemetry. The gateway routes accelerated applications to the
+// DSCS-Serverless runner and everything else (or explicit requests) to the
+// CPU baseline — the minimal-disruption integration of Section 5.1.
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"dscs/internal/faas"
+	"dscs/internal/sched"
+	"dscs/internal/workload"
+)
+
+// Deployment is one registered application.
+type Deployment struct {
+	App       *faas.Application
+	Benchmark *workload.Benchmark
+	YAML      string
+	At        time.Time
+}
+
+// Gateway serves the API. Safe for concurrent use.
+type Gateway struct {
+	mu      sync.Mutex
+	apps    map[string]*Deployment
+	runners map[string]*faas.Runner
+	// route maps an application to its default runner name.
+	defaultAccel, defaultPlain string
+	tel                        *sched.Telemetry
+}
+
+// New builds a gateway over the given runners. accelRunner serves
+// applications whose chains carry acceleration hints; plainRunner the rest.
+func New(runners map[string]*faas.Runner, accelRunner, plainRunner string) (*Gateway, error) {
+	if _, ok := runners[accelRunner]; !ok {
+		return nil, fmt.Errorf("gateway: unknown accelerated runner %q", accelRunner)
+	}
+	if _, ok := runners[plainRunner]; !ok {
+		return nil, fmt.Errorf("gateway: unknown plain runner %q", plainRunner)
+	}
+	return &Gateway{
+		apps:         make(map[string]*Deployment),
+		runners:      runners,
+		defaultAccel: accelRunner,
+		defaultPlain: plainRunner,
+		tel:          sched.NewTelemetry(),
+	}, nil
+}
+
+// Telemetry exposes the gateway's metric registry.
+func (g *Gateway) Telemetry() *sched.Telemetry { return g.tel }
+
+// Handler returns the HTTP API.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", g.health)
+	mux.HandleFunc("/system/functions", g.systemFunctions)
+	mux.HandleFunc("/function/", g.invoke)
+	mux.HandleFunc("/metrics", g.metrics)
+	return mux
+}
+
+func (g *Gateway) health(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// systemFunctions handles deploys (POST, YAML body) and listing (GET).
+func (g *Gateway) systemFunctions(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		g.deploy(w, r)
+	case http.MethodGet:
+		g.list(w)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (g *Gateway) deploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	app, err := faas.ParseApplication(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	bench := workload.BySlug(app.Name)
+	if bench == nil {
+		http.Error(w, fmt.Sprintf("no workload data for application %q", app.Name),
+			http.StatusUnprocessableEntity)
+		return
+	}
+	g.mu.Lock()
+	g.apps[app.Name] = &Deployment{App: app, Benchmark: bench, YAML: string(body), At: time.Now()}
+	g.mu.Unlock()
+	g.tel.Inc("gateway_deployments_total", 1)
+	w.WriteHeader(http.StatusAccepted)
+	writeJSON(w, map[string]interface{}{
+		"deployed":    app.Name,
+		"functions":   len(app.Chain),
+		"accelerated": len(app.AcceleratedPrefix()),
+	})
+}
+
+// listEntry is one row of the deployment listing.
+type listEntry struct {
+	Name        string `json:"name"`
+	Functions   int    `json:"functions"`
+	Accelerated int    `json:"accelerated_functions"`
+	Model       string `json:"model"`
+	Runner      string `json:"default_runner"`
+}
+
+func (g *Gateway) list(w http.ResponseWriter) {
+	g.mu.Lock()
+	entries := make([]listEntry, 0, len(g.apps))
+	for _, d := range g.apps {
+		entries = append(entries, listEntry{
+			Name:        d.App.Name,
+			Functions:   len(d.App.Chain),
+			Accelerated: len(d.App.AcceleratedPrefix()),
+			Model:       d.Benchmark.Model.Name,
+			Runner:      g.routeFor(d),
+		})
+	}
+	g.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	writeJSON(w, entries)
+}
+
+// routeFor picks the default runner for a deployment.
+func (g *Gateway) routeFor(d *Deployment) string {
+	if len(d.App.AcceleratedPrefix()) > 0 {
+		return g.defaultAccel
+	}
+	return g.defaultPlain
+}
+
+// invokeRequest is the invocation body (all fields optional).
+type invokeRequest struct {
+	Batch    int     `json:"batch"`
+	Cold     bool    `json:"cold"`
+	Quantile float64 `json:"quantile"`
+}
+
+// invokeResponse reports one invocation.
+type invokeResponse struct {
+	Application string  `json:"application"`
+	Platform    string  `json:"platform"`
+	TotalMS     float64 `json:"total_ms"`
+	StackMS     float64 `json:"stack_ms"`
+	RemoteIOMS  float64 `json:"remote_io_ms"`
+	ComputeMS   float64 `json:"compute_ms"`
+	DeviceIOMS  float64 `json:"device_io_ms"`
+	DriverMS    float64 `json:"driver_ms"`
+	ColdMS      float64 `json:"cold_start_ms"`
+	NotifyMS    float64 `json:"notify_ms"`
+	EnergyJ     float64 `json:"energy_j"`
+}
+
+func (g *Gateway) invoke(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	name := strings.TrimPrefix(r.URL.Path, "/function/")
+	g.mu.Lock()
+	d, ok := g.apps[name]
+	g.mu.Unlock()
+	if !ok {
+		g.tel.Inc("gateway_not_found_total", 1)
+		http.Error(w, fmt.Sprintf("application %q not deployed", name), http.StatusNotFound)
+		return
+	}
+
+	var req invokeRequest
+	if r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err == nil && len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+	}
+
+	runnerName := g.routeFor(d)
+	if p := r.URL.Query().Get("platform"); p != "" {
+		if _, ok := g.runners[p]; !ok {
+			http.Error(w, fmt.Sprintf("unknown platform %q", p), http.StatusBadRequest)
+			return
+		}
+		runnerName = p
+	}
+	runner := g.runners[runnerName]
+
+	res, err := runner.Invoke(d.Benchmark, faas.Options{
+		Batch: req.Batch, Cold: req.Cold, Quantile: req.Quantile,
+	})
+	if err != nil {
+		g.tel.Inc("gateway_errors_total", 1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	g.tel.Inc("gateway_invocations_total", 1)
+	g.tel.Inc("gateway_invocations_total{platform="+runnerName+"}", 1)
+
+	ms := func(dur time.Duration) float64 { return float64(dur) / float64(time.Millisecond) }
+	bd := res.Breakdown
+	writeJSON(w, invokeResponse{
+		Application: name,
+		Platform:    runnerName,
+		TotalMS:     ms(res.Total()),
+		StackMS:     ms(bd.Stack),
+		RemoteIOMS:  ms(bd.RemoteRead + bd.RemoteWrite),
+		ComputeMS:   ms(bd.Compute),
+		DeviceIOMS:  ms(bd.DeviceIO),
+		DriverMS:    ms(bd.Driver),
+		ColdMS:      ms(bd.ColdStart),
+		NotifyMS:    ms(bd.Notify),
+		EnergyJ:     float64(res.Energy),
+	})
+}
+
+func (g *Gateway) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, g.tel.Render())
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,241 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"dscs/internal/csd"
+	"dscs/internal/faas"
+	"dscs/internal/objstore"
+	"dscs/internal/platform"
+	"dscs/internal/sim"
+	"dscs/internal/ssd"
+	"dscs/internal/workload"
+)
+
+func testGateway(t *testing.T) *Gateway {
+	t.Helper()
+	var nodes []*objstore.Node
+	for i := 0; i < 4; i++ {
+		d, err := ssd.New(ssd.SmartSSDClass())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("ssd-%d", i), Kind: objstore.PlainSSD, SSD: d,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		d, err := csd.New(csd.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("dscs-%d", i), Kind: objstore.DSCSDrive, CSD: d,
+		})
+	}
+	store, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runners := map[string]*faas.Runner{
+		"DSCS-Serverless": faas.NewRunner(store, platform.DSCS()),
+		"Baseline (CPU)":  faas.NewRunner(store, platform.BaselineCPU()),
+	}
+	g, err := New(runners, "DSCS-Serverless", "Baseline (CPU)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func deployApp(t *testing.T, srv *httptest.Server, slug string) {
+	t.Helper()
+	b := workload.BySlug(slug)
+	resp, err := http.Post(srv.URL+"/system/functions", "application/x-yaml",
+		strings.NewReader(faas.DeploymentYAML(b)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("deploy status = %d", resp.StatusCode)
+	}
+}
+
+func TestDeployListInvoke(t *testing.T) {
+	g := testGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	deployApp(t, srv, "asset-damage")
+	deployApp(t, srv, "chatbot")
+
+	// List shows both with their routing.
+	resp, err := http.Get(srv.URL + "/system/functions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []listEntry
+	if err := json.NewDecoder(resp.Body).Decode(&entries); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(entries) != 2 {
+		t.Fatalf("listed %d apps, want 2", len(entries))
+	}
+	for _, e := range entries {
+		if e.Accelerated != 2 || e.Runner != "DSCS-Serverless" {
+			t.Errorf("entry %+v: accelerated apps must route to DSCS", e)
+		}
+	}
+
+	// Invoke lands on the DSCS runner and returns a full breakdown.
+	resp, err = http.Post(srv.URL+"/function/asset-damage", "application/json",
+		strings.NewReader(`{"quantile":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv invokeResponse
+	if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if inv.Platform != "DSCS-Serverless" {
+		t.Errorf("routed to %q", inv.Platform)
+	}
+	if inv.TotalMS <= 0 || inv.EnergyJ <= 0 || inv.DriverMS <= 0 {
+		t.Errorf("degenerate invocation response: %+v", inv)
+	}
+	sum := inv.StackMS + inv.RemoteIOMS + inv.ComputeMS + inv.DeviceIOMS +
+		inv.DriverMS + inv.ColdMS + inv.NotifyMS
+	if diff := inv.TotalMS - sum; diff > 0.01 || diff < -0.01 {
+		t.Errorf("breakdown (%.3f) does not sum to total (%.3f)", sum, inv.TotalMS)
+	}
+}
+
+func TestPlatformOverride(t *testing.T) {
+	g := testGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	deployApp(t, srv, "moderation")
+
+	resp, err := http.Post(srv.URL+"/function/moderation?platform="+url.QueryEscape("Baseline (CPU)"),
+		"application/json", strings.NewReader(`{"quantile":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inv invokeResponse
+	json.NewDecoder(resp.Body).Decode(&inv)
+	resp.Body.Close()
+	if inv.Platform != "Baseline (CPU)" {
+		t.Errorf("override ignored: %q", inv.Platform)
+	}
+	if inv.RemoteIOMS <= 0 {
+		t.Error("baseline invocation must pay remote IO")
+	}
+
+	// Unknown platform is a client error.
+	resp, _ = http.Post(srv.URL+"/function/moderation?platform=TPU", "application/json", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown platform status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestInvokeErrors(t *testing.T) {
+	g := testGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	// Not deployed.
+	resp, _ := http.Post(srv.URL+"/function/ghost", "application/json", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing app status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wrong method.
+	resp, _ = http.Get(srv.URL + "/function/ghost")
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET invoke status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Bad YAML deploy.
+	resp, _ = http.Post(srv.URL+"/system/functions", "application/x-yaml",
+		strings.NewReader("not: [valid"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad yaml status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Valid YAML but unknown workload.
+	yaml := strings.Replace(faas.DeploymentYAML(workload.Chatbot()),
+		"name: chatbot", "name: mystery", 1)
+	resp, _ = http.Post(srv.URL+"/system/functions", "application/x-yaml",
+		strings.NewReader(yaml))
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("unknown workload status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Malformed invocation body.
+	deployApp(t, srv, "chatbot")
+	resp, _ = http.Post(srv.URL+"/function/chatbot", "application/json",
+		strings.NewReader("{not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestMetricsAndHealth(t *testing.T) {
+	g := testGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	deployApp(t, srv, "clinical")
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(srv.URL+"/function/clinical", "application/json",
+			strings.NewReader(`{"quantile":0.5}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := make([]byte, 4096)
+	n, _ := resp.Body.Read(body)
+	resp.Body.Close()
+	text := string(body[:n])
+	if !strings.Contains(text, "gateway_invocations_total 3") {
+		t.Errorf("metrics missing invocation count:\n%s", text)
+	}
+	if !strings.Contains(text, "gateway_deployments_total 1") {
+		t.Errorf("metrics missing deployment count:\n%s", text)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("health status = %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(map[string]*faas.Runner{}, "a", "b"); err == nil {
+		t.Error("missing runners must fail")
+	}
+}

@@ -1,0 +1,159 @@
+// encode.go serializes compiled programs to a compact line-oriented text
+// format and parses them back. The deployment flow needs this: the compiler
+// runs at function-packaging time and the executable ships inside the
+// function's container (Section 5.1), so programs must survive a round trip
+// through the image.
+package isa
+
+import (
+	"bufio"
+	"fmt"
+	"strings"
+
+	"dscs/internal/units"
+)
+
+// formatVersion guards the serialized layout.
+const formatVersion = 1
+
+// Marshal renders a program in the container-image format.
+func Marshal(p *Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "dscs-program v%d name=%s batch=%d instrs=%d\n",
+		formatVersion, p.Name, p.Batch, len(p.Instrs))
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case OpGEMMLoop:
+			fmt.Fprintf(&sb, "G %s %d %d %d %d %d %d %d %d %d %d %d %d\n",
+				quote(in.Layer), in.M, in.K, in.N, in.Count,
+				in.TileM, in.TileK, in.TileN, int(in.Order),
+				int64(in.WeightBytes), int64(in.InputBytes), int64(in.OutputBytes),
+				int(in.FusedVec))
+		case OpVectorLoop:
+			onChip := 0
+			if in.OnChip {
+				onChip = 1
+			}
+			fmt.Fprintf(&sb, "V %s %d %d %d\n", quote(in.Layer), int(in.Vec), in.Elems, onChip)
+		case OpLoad:
+			fmt.Fprintf(&sb, "L %s %d\n", quote(in.Layer), int64(in.Bytes))
+		case OpStore:
+			fmt.Fprintf(&sb, "S %s %d\n", quote(in.Layer), int64(in.Bytes))
+		case OpSync:
+			fmt.Fprintf(&sb, "Y\n")
+		}
+	}
+	return sb.String()
+}
+
+// quote makes layer names single-token (names use [-_./a-z0-9]).
+func quote(s string) string {
+	if s == "" {
+		return "_"
+	}
+	return strings.ReplaceAll(s, " ", "~")
+}
+
+func unquote2(s string) string {
+	if s == "_" {
+		return ""
+	}
+	return strings.ReplaceAll(s, "~", " ")
+}
+
+// Unmarshal parses the container-image format back into a program and
+// validates it.
+func Unmarshal(src string) (*Program, error) {
+	sc := bufio.NewScanner(strings.NewReader(src))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("isa: empty program text")
+	}
+	header := sc.Text()
+	var version, batch, count int
+	var name string
+	if _, err := fmt.Sscanf(header, "dscs-program v%d name=%s batch=%d instrs=%d",
+		&version, &name, &batch, &count); err != nil {
+		return nil, fmt.Errorf("isa: bad header %q: %v", header, err)
+	}
+	if version != formatVersion {
+		return nil, fmt.Errorf("isa: unsupported format version %d", version)
+	}
+	p := &Program{Name: name, Batch: batch, Instrs: make([]Instr, 0, count)}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		in, err := parseInstr(text)
+		if err != nil {
+			return nil, fmt.Errorf("isa: line %d: %v", line, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	if len(p.Instrs) != count {
+		return nil, fmt.Errorf("isa: header promised %d instrs, found %d", count, len(p.Instrs))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseInstr(text string) (Instr, error) {
+	fields := strings.Fields(text)
+	switch fields[0] {
+	case "G":
+		if len(fields) != 14 {
+			return Instr{}, fmt.Errorf("gemm needs 14 fields, have %d", len(fields))
+		}
+		var v [12]int64
+		for i := range v {
+			if _, err := fmt.Sscanf(fields[i+2], "%d", &v[i]); err != nil {
+				return Instr{}, fmt.Errorf("bad gemm field %d: %v", i, err)
+			}
+		}
+		return Instr{
+			Op: OpGEMMLoop, Layer: unquote2(fields[1]),
+			M: int(v[0]), K: int(v[1]), N: int(v[2]), Count: int(v[3]),
+			TileM: int(v[4]), TileK: int(v[5]), TileN: int(v[6]),
+			Order:       LoopOrder(v[7]),
+			WeightBytes: units.Bytes(v[8]), InputBytes: units.Bytes(v[9]),
+			OutputBytes: units.Bytes(v[10]),
+			FusedVec:    VectorKind(v[11]),
+		}, nil
+	case "V":
+		if len(fields) != 5 {
+			return Instr{}, fmt.Errorf("vector needs 5 fields, have %d", len(fields))
+		}
+		var kind, onChip int
+		var elems int64
+		if _, err := fmt.Sscanf(fields[2]+" "+fields[3]+" "+fields[4], "%d %d %d",
+			&kind, &elems, &onChip); err != nil {
+			return Instr{}, err
+		}
+		return Instr{
+			Op: OpVectorLoop, Layer: unquote2(fields[1]),
+			Vec: VectorKind(kind), Elems: elems, OnChip: onChip == 1,
+		}, nil
+	case "L", "S":
+		if len(fields) != 3 {
+			return Instr{}, fmt.Errorf("load/store needs 3 fields, have %d", len(fields))
+		}
+		var b int64
+		if _, err := fmt.Sscanf(fields[2], "%d", &b); err != nil {
+			return Instr{}, err
+		}
+		op := OpLoad
+		if fields[0] == "S" {
+			op = OpStore
+		}
+		return Instr{Op: op, Layer: unquote2(fields[1]), Bytes: units.Bytes(b)}, nil
+	case "Y":
+		return Instr{Op: OpSync}, nil
+	}
+	return Instr{}, fmt.Errorf("unknown opcode %q", fields[0])
+}

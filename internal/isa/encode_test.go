@@ -1,0 +1,94 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+
+	"dscs/internal/units"
+)
+
+func sampleProgram() *Program {
+	return &Program{Name: "resnet-50", Batch: 2, Instrs: []Instr{
+		{Op: OpLoad, Layer: "input", Bytes: units.Bytes(2 * 224 * 224 * 3)},
+		{
+			Op: OpGEMMLoop, Layer: "conv1",
+			M: 12544, K: 147, N: 64, Count: 1,
+			TileM: 1024, TileK: 128, TileN: 64,
+			Order:       InputStationary,
+			WeightBytes: 9408, InputBytes: units.Bytes(12544 * 147),
+			OutputBytes: units.Bytes(12544 * 64), FusedVec: VecReLU,
+		},
+		{Op: OpVectorLoop, Layer: "pool1", Vec: VecPool, Elems: 802816, OnChip: true},
+		{Op: OpSync},
+		{Op: OpStore, Layer: "output", Bytes: 2000},
+	}}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p := sampleProgram()
+	text := Marshal(p)
+	back, err := Unmarshal(text)
+	if err != nil {
+		t.Fatalf("unmarshal: %v\n%s", err, text)
+	}
+	if back.Name != p.Name || back.Batch != p.Batch || len(back.Instrs) != len(p.Instrs) {
+		t.Fatalf("header mismatch: %+v", back)
+	}
+	for i := range p.Instrs {
+		if p.Instrs[i] != back.Instrs[i] {
+			t.Errorf("instr %d mismatch:\n  want %+v\n  got  %+v",
+				i, p.Instrs[i], back.Instrs[i])
+		}
+	}
+	// Derived aggregates survive the trip.
+	if back.MACs() != p.MACs() || back.DRAMBytes() != p.DRAMBytes() {
+		t.Error("aggregates changed across the round trip")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"garbage header",
+		"dscs-program v99 name=x batch=1 instrs=0",
+		"dscs-program v1 name=x batch=1 instrs=2\nY",       // count mismatch
+		"dscs-program v1 name=x batch=1 instrs=1\nQ what",  // unknown opcode
+		"dscs-program v1 name=x batch=1 instrs=1\nG a 1 2", // truncated gemm
+		"dscs-program v1 name=x batch=1 instrs=1\nL in notanumber",
+		// Structurally invalid program (tile exceeds dims).
+		"dscs-program v1 name=x batch=1 instrs=1\nG l 4 4 4 1 8 4 4 0 16 16 16 0",
+	}
+	for i, src := range cases {
+		if _, err := Unmarshal(src); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, src)
+		}
+	}
+}
+
+func TestQuotingLayerNames(t *testing.T) {
+	p := &Program{Name: "t", Batch: 1, Instrs: []Instr{
+		{Op: OpLoad, Layer: "name with spaces", Bytes: 10},
+		{Op: OpStore, Layer: "", Bytes: 10},
+	}}
+	back, err := Unmarshal(Marshal(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Instrs[0].Layer != "name with spaces" {
+		t.Errorf("spaced name = %q", back.Instrs[0].Layer)
+	}
+	if back.Instrs[1].Layer != "" {
+		t.Errorf("empty name = %q", back.Instrs[1].Layer)
+	}
+}
+
+func TestMarshalIsLineOriented(t *testing.T) {
+	text := Marshal(sampleProgram())
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 6 { // header + 5 instructions
+		t.Fatalf("marshal produced %d lines, want 6:\n%s", len(lines), text)
+	}
+	if !strings.HasPrefix(lines[0], "dscs-program v1") {
+		t.Errorf("bad header %q", lines[0])
+	}
+}

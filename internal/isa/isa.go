@@ -1,0 +1,296 @@
+// Package isa defines the instruction set of the in-storage domain-specific
+// accelerator. Programs are sequences of loop descriptors — one GEMM loop or
+// vector loop per fused operator — mirroring how tensor accelerators encode
+// work as tiled tensor descriptors rather than scalar instruction streams.
+//
+// The compiler (internal/compiler) emits programs; the cycle-level simulator
+// (internal/dsa) executes them.
+package isa
+
+import (
+	"fmt"
+	"strings"
+
+	"dscs/internal/units"
+)
+
+// Opcode identifies an instruction kind.
+type Opcode int
+
+// Instruction kinds.
+const (
+	OpGEMMLoop   Opcode = iota // tiled matrix multiply on the MPU
+	OpVectorLoop               // elementwise/reduction work on the VPU
+	OpLoad                     // stage function input from drive DRAM
+	OpStore                    // store function output to drive DRAM
+	OpSync                     // barrier between MPU and VPU streams
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpGEMMLoop:
+		return "gemm.loop"
+	case OpVectorLoop:
+		return "vec.loop"
+	case OpLoad:
+		return "load"
+	case OpStore:
+		return "store"
+	case OpSync:
+		return "sync"
+	}
+	return "unknown"
+}
+
+// VectorKind identifies a VPU operation.
+type VectorKind int
+
+// VPU operations, with per-element cost factors defined in VectorCost.
+const (
+	VecNone VectorKind = iota
+	VecReLU
+	VecLeakyReLU
+	VecGeLU
+	VecTanh
+	VecSigmoid
+	VecAdd
+	VecMul
+	VecSoftmax
+	VecNorm
+	VecPool
+	VecCast
+	VecTranspose
+	VecEmbed
+	VecPreprocess
+	// VecDWConv is a depthwise convolution executed on the VPU: per-channel
+	// kernels are array-hostile on the systolic MPU (they fill one column),
+	// so the compiler maps them to the vector lanes instead.
+	VecDWConv
+)
+
+// String names the vector op.
+func (v VectorKind) String() string {
+	names := map[VectorKind]string{
+		VecNone: "nop", VecReLU: "relu", VecLeakyReLU: "lrelu",
+		VecGeLU: "gelu", VecTanh: "tanh", VecSigmoid: "sigmoid",
+		VecAdd: "add", VecMul: "mul", VecSoftmax: "softmax",
+		VecNorm: "norm", VecPool: "pool", VecCast: "cast",
+		VecTranspose: "transpose", VecEmbed: "embed", VecPreprocess: "prep",
+		VecDWConv: "dwconv",
+	}
+	if s, ok := names[v]; ok {
+		return s
+	}
+	return "unknown"
+}
+
+// VectorCost returns the per-element cycle cost of the op on one VPU lane.
+// Transcendentals run on the VPU's non-linear unit in a few cycles; simple
+// arithmetic is single-cycle.
+func (v VectorKind) VectorCost() int {
+	switch v {
+	case VecGeLU, VecTanh, VecSigmoid:
+		return 4
+	case VecSoftmax:
+		return 6
+	case VecNorm:
+		return 8
+	case VecPreprocess:
+		return 2
+	case VecNone:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// LoopOrder selects the GEMM dataflow the compiler chose for a layer.
+type LoopOrder int
+
+// Dataflows: which operand stays resident while the other streams.
+const (
+	WeightStationary LoopOrder = iota // (k,n) outer, m inner: weights amortized
+	InputStationary                   // m outer: input panel amortized
+)
+
+// String names the loop order.
+func (l LoopOrder) String() string {
+	if l == InputStationary {
+		return "input-stationary"
+	}
+	return "weight-stationary"
+}
+
+// Instr is one loop descriptor. Field groups are used according to Op.
+type Instr struct {
+	Op    Opcode
+	Layer string // source layer name, for attribution and debugging
+
+	// GEMM loop: Count independent (M x K) * (K x N) products tiled as
+	// TileM/TileK/TileN under the chosen loop order.
+	M, K, N, Count      int
+	TileM, TileK, TileN int
+	Order               LoopOrder
+
+	// DRAM traffic the loop performs, computed by the compiler from the
+	// dataflow (includes re-reads forced by tiling).
+	WeightBytes units.Bytes
+	InputBytes  units.Bytes
+	OutputBytes units.Bytes
+
+	// FusedVec is the activation the MPU epilogue applies in-flight.
+	FusedVec VectorKind
+
+	// Vector loop.
+	Vec    VectorKind
+	Elems  int64
+	OnChip bool // operands resident in the shared output buffer (fused chain)
+
+	// Load/Store payload.
+	Bytes units.Bytes
+}
+
+// MACs returns the multiply-accumulate count of a GEMM loop (0 otherwise).
+func (in *Instr) MACs() int64 {
+	if in.Op != OpGEMMLoop {
+		return 0
+	}
+	return int64(in.M) * int64(in.K) * int64(in.N) * int64(in.Count)
+}
+
+// Tiles returns the tile grid dimensions of a GEMM loop.
+func (in *Instr) Tiles() (nM, nK, nN int) {
+	if in.TileM <= 0 || in.TileK <= 0 || in.TileN <= 0 {
+		return 0, 0, 0
+	}
+	return ceilDiv(in.M, in.TileM), ceilDiv(in.K, in.TileK), ceilDiv(in.N, in.TileN)
+}
+
+// DRAMBytes returns the loop's total DRAM traffic.
+func (in *Instr) DRAMBytes() units.Bytes {
+	switch in.Op {
+	case OpGEMMLoop:
+		return in.WeightBytes + in.InputBytes + in.OutputBytes
+	case OpVectorLoop:
+		if in.OnChip {
+			return 0
+		}
+		return units.Bytes(2 * in.Elems)
+	case OpLoad, OpStore:
+		return in.Bytes
+	}
+	return 0
+}
+
+// String disassembles the instruction.
+func (in *Instr) String() string {
+	switch in.Op {
+	case OpGEMMLoop:
+		nM, nK, nN := in.Tiles()
+		fused := ""
+		if in.FusedVec != VecNone {
+			fused = "+" + in.FusedVec.String()
+		}
+		return fmt.Sprintf("gemm.loop%-9s %-24s M=%d K=%d N=%d x%d tile=(%d,%d,%d) grid=(%d,%d,%d) %s dram=%v",
+			fused, in.Layer, in.M, in.K, in.N, in.Count,
+			in.TileM, in.TileK, in.TileN, nM, nK, nN, in.Order, in.DRAMBytes())
+	case OpVectorLoop:
+		loc := "dram"
+		if in.OnChip {
+			loc = "onchip"
+		}
+		return fmt.Sprintf("vec.loop.%-8s %-24s elems=%d %s", in.Vec, in.Layer, in.Elems, loc)
+	case OpLoad:
+		return fmt.Sprintf("load              %-24s bytes=%v", in.Layer, in.Bytes)
+	case OpStore:
+		return fmt.Sprintf("store             %-24s bytes=%v", in.Layer, in.Bytes)
+	case OpSync:
+		return "sync"
+	}
+	return "unknown"
+}
+
+// Program is a compiled executable for one function at one batch size.
+type Program struct {
+	Name   string
+	Batch  int
+	Instrs []Instr
+}
+
+// MACs totals the program's multiply-accumulates.
+func (p *Program) MACs() int64 {
+	var n int64
+	for i := range p.Instrs {
+		n += p.Instrs[i].MACs()
+	}
+	return n
+}
+
+// DRAMBytes totals the program's DRAM traffic.
+func (p *Program) DRAMBytes() units.Bytes {
+	var n units.Bytes
+	for i := range p.Instrs {
+		n += p.Instrs[i].DRAMBytes()
+	}
+	return n
+}
+
+// VectorElems totals the VPU element work (including fused epilogues, which
+// run on the MPU's output path and are excluded here).
+func (p *Program) VectorElems() int64 {
+	var n int64
+	for i := range p.Instrs {
+		if p.Instrs[i].Op == OpVectorLoop {
+			n += p.Instrs[i].Elems
+		}
+	}
+	return n
+}
+
+// Disassemble renders the whole program.
+func (p *Program) Disassemble() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; program %s batch=%d (%d instrs, %d MACs, %v DRAM)\n",
+		p.Name, p.Batch, len(p.Instrs), p.MACs(), p.DRAMBytes())
+	for i := range p.Instrs {
+		sb.WriteString(p.Instrs[i].String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Validate checks structural invariants: tiles within dims, positive sizes.
+func (p *Program) Validate() error {
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case OpGEMMLoop:
+			if in.M <= 0 || in.K <= 0 || in.N <= 0 || in.Count <= 0 {
+				return fmt.Errorf("isa: instr %d (%s): non-positive GEMM dims", i, in.Layer)
+			}
+			if in.TileM <= 0 || in.TileK <= 0 || in.TileN <= 0 {
+				return fmt.Errorf("isa: instr %d (%s): non-positive tile dims", i, in.Layer)
+			}
+			if in.TileM > in.M || in.TileK > in.K || in.TileN > in.N {
+				return fmt.Errorf("isa: instr %d (%s): tile exceeds GEMM dims", i, in.Layer)
+			}
+		case OpVectorLoop:
+			if in.Elems <= 0 {
+				return fmt.Errorf("isa: instr %d (%s): non-positive vector elems", i, in.Layer)
+			}
+		case OpLoad, OpStore:
+			if in.Bytes < 0 {
+				return fmt.Errorf("isa: instr %d (%s): negative payload", i, in.Layer)
+			}
+		}
+	}
+	return nil
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

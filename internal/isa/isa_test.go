@@ -1,0 +1,174 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dscs/internal/units"
+)
+
+func gemm(m, k, n, tm, tk, tn int) Instr {
+	return Instr{
+		Op: OpGEMMLoop, Layer: "l", M: m, K: k, N: n, Count: 1,
+		TileM: tm, TileK: tk, TileN: tn,
+		WeightBytes: units.Bytes(k * n), InputBytes: units.Bytes(m * k),
+		OutputBytes: units.Bytes(m * n),
+	}
+}
+
+func TestMACs(t *testing.T) {
+	in := gemm(128, 768, 768, 128, 128, 128)
+	if got := in.MACs(); got != 128*768*768 {
+		t.Fatalf("MACs = %d", got)
+	}
+	in.Count = 12
+	if got := in.MACs(); got != 12*128*768*768 {
+		t.Fatalf("MACs with count = %d", got)
+	}
+	v := Instr{Op: OpVectorLoop, Elems: 100}
+	if v.MACs() != 0 {
+		t.Fatal("vector op must have 0 MACs")
+	}
+}
+
+func TestTiles(t *testing.T) {
+	in := gemm(100, 300, 128, 32, 128, 128)
+	nM, nK, nN := in.Tiles()
+	if nM != 4 || nK != 3 || nN != 1 {
+		t.Fatalf("tiles = %d,%d,%d", nM, nK, nN)
+	}
+	bad := Instr{Op: OpGEMMLoop}
+	if a, b, c := bad.Tiles(); a != 0 || b != 0 || c != 0 {
+		t.Fatal("zero tiles for unset dims")
+	}
+}
+
+func TestDRAMBytes(t *testing.T) {
+	in := gemm(10, 20, 30, 10, 20, 30)
+	want := units.Bytes(20*30 + 10*20 + 10*30)
+	if in.DRAMBytes() != want {
+		t.Fatalf("gemm dram = %v, want %v", in.DRAMBytes(), want)
+	}
+	v := Instr{Op: OpVectorLoop, Elems: 50}
+	if v.DRAMBytes() != 100 {
+		t.Fatalf("vector dram = %v, want 100", v.DRAMBytes())
+	}
+	v.OnChip = true
+	if v.DRAMBytes() != 0 {
+		t.Fatal("on-chip vector op must not touch DRAM")
+	}
+	ld := Instr{Op: OpLoad, Bytes: 4096}
+	if ld.DRAMBytes() != 4096 {
+		t.Fatal("load dram mismatch")
+	}
+	if (&Instr{Op: OpSync}).DRAMBytes() != 0 {
+		t.Fatal("sync moves no data")
+	}
+}
+
+func TestProgramAggregates(t *testing.T) {
+	p := &Program{Name: "t", Batch: 1, Instrs: []Instr{
+		{Op: OpLoad, Layer: "in", Bytes: 1000},
+		gemm(10, 20, 30, 10, 20, 30),
+		{Op: OpVectorLoop, Layer: "act", Vec: VecReLU, Elems: 300},
+		{Op: OpStore, Layer: "out", Bytes: 300},
+	}}
+	if p.MACs() != 10*20*30 {
+		t.Fatalf("program MACs = %d", p.MACs())
+	}
+	if p.VectorElems() != 300 {
+		t.Fatalf("program vector elems = %d", p.VectorElems())
+	}
+	// load 1000 + gemm (weights 600, inputs 200, outputs 300)
+	// + vector 2*300 + store 300.
+	want := units.Bytes(1000 + 600 + 200 + 300 + 600 + 300)
+	if p.DRAMBytes() != want {
+		t.Fatalf("program dram = %v, want %v", p.DRAMBytes(), want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Program{Instrs: []Instr{gemm(10, 20, 30, 10, 20, 30)}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Instr{
+		{Op: OpGEMMLoop, M: 0, K: 1, N: 1, Count: 1, TileM: 1, TileK: 1, TileN: 1},
+		{Op: OpGEMMLoop, M: 4, K: 4, N: 4, Count: 1, TileM: 0, TileK: 1, TileN: 1},
+		{Op: OpGEMMLoop, M: 4, K: 4, N: 4, Count: 1, TileM: 8, TileK: 4, TileN: 4},
+		{Op: OpVectorLoop, Elems: 0},
+		{Op: OpLoad, Bytes: -1},
+	}
+	for i, in := range cases {
+		p := &Program{Instrs: []Instr{in}}
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := &Program{Name: "resnet", Batch: 2, Instrs: []Instr{
+		{Op: OpLoad, Layer: "input", Bytes: 1024},
+		func() Instr { in := gemm(64, 64, 64, 32, 64, 64); in.FusedVec = VecReLU; return in }(),
+		{Op: OpVectorLoop, Layer: "softmax", Vec: VecSoftmax, Elems: 1000, OnChip: true},
+		{Op: OpSync},
+	}}
+	text := p.Disassemble()
+	for _, want := range []string{"program resnet batch=2", "gemm.loop+relu",
+		"vec.loop.softmax", "onchip", "load", "sync"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVectorCosts(t *testing.T) {
+	if VecReLU.VectorCost() != 1 {
+		t.Error("relu should be single-cycle")
+	}
+	if VecGeLU.VectorCost() <= VecReLU.VectorCost() {
+		t.Error("gelu must cost more than relu")
+	}
+	if VecNorm.VectorCost() <= VecSoftmax.VectorCost()-3 {
+		t.Error("norm should be the most expensive reduction")
+	}
+	if VecNone.VectorCost() != 0 {
+		t.Error("nop must be free")
+	}
+}
+
+func TestOpcodeAndKindNames(t *testing.T) {
+	ops := map[Opcode]string{OpGEMMLoop: "gemm.loop", OpVectorLoop: "vec.loop",
+		OpLoad: "load", OpStore: "store", OpSync: "sync"}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("%d name = %q", op, op.String())
+		}
+	}
+	if WeightStationary.String() == InputStationary.String() {
+		t.Error("loop orders must render differently")
+	}
+	for v := VecNone; v <= VecPreprocess; v++ {
+		if v.String() == "unknown" {
+			t.Errorf("vector kind %d has no name", v)
+		}
+	}
+}
+
+func TestTileSumsProperty(t *testing.T) {
+	// ceil-div grid covers dims exactly: nX*tileX >= X > (nX-1)*tileX.
+	f := func(m, tm uint8) bool {
+		M, TM := int(m)+1, int(tm%32)+1
+		if TM > M {
+			TM = M
+		}
+		in := gemm(M, 8, 8, TM, 8, 8)
+		nM, _, _ := in.Tiles()
+		return nM*TM >= M && (nM-1)*TM < M
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

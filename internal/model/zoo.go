@@ -1,0 +1,361 @@
+package model
+
+// The zoo builds the eight inference architectures behind the paper's
+// Table 1 benchmark suite. Where AWS does not disclose the production model,
+// the paper substitutes a representative Hugging Face architecture; we build
+// the same architectures structurally (layer shapes and parameter counts
+// within a few percent of the published models).
+
+// LogisticRegressionCredit is the Credit Risk Assessment scorer (IBM
+// SPSS-style binary logistic regression over 64 engineered features). One
+// request carries a batch of loan records scored together.
+func LogisticRegressionCredit(records int) *Graph {
+	g := NewFeatureGraph("logistic-regression", 64)
+	g.TokenDense("score", records, 64, 2, Sigmoid)
+	g.SoftmaxOver("prob", int64(records)*2)
+	return g
+}
+
+// resNetStage appends n residual blocks; bottleneck selects the ResNet-50
+// style 1x1/3x3/1x1 block versus the ResNet-18 3x3/3x3 basic block.
+func resNetStage(g *Graph, name string, n, mid, out, stride int, bottleneck bool) {
+	for b := 0; b < n; b++ {
+		s := 1
+		if b == 0 {
+			s = stride
+		}
+		inH, inW, inC := g.Shape()
+		if bottleneck {
+			g.Conv(name+"_reduce", mid, 1, s, 0, ReLU)
+			g.Conv(name+"_conv", mid, 3, 1, 1, ReLU)
+			g.Conv(name+"_expand", out, 1, 1, 0, NoAct)
+		} else {
+			g.Conv(name+"_conv1", out, 3, s, 1, ReLU)
+			g.Conv(name+"_conv2", out, 3, 1, 1, NoAct)
+		}
+		if b == 0 && (inC != out || s != 1) {
+			g.ConvBranch(name+"_down", inH, inW, inC, out, 1, 1, s, 0, 0, NoAct)
+		}
+		h, w, c := g.Shape()
+		g.Residual(name+"_add", int64(h)*int64(w)*int64(c))
+		g.Activate(name+"_relu", ReLU, int64(h)*int64(w)*int64(c))
+	}
+}
+
+// ResNet50 builds the Asset Damage Detection classifier (AWS Lookout for
+// Vision style): the standard 224x224 ResNet-50 (~25.6M parameters).
+func ResNet50() *Graph {
+	g := NewGraph("resnet-50", 224, 224, 3)
+	g.Conv("conv1", 64, 7, 2, 3, ReLU)
+	g.MaxPool("pool1", 3, 2, 1)
+	resNetStage(g, "stage1", 3, 64, 256, 1, true)
+	resNetStage(g, "stage2", 4, 128, 512, 2, true)
+	resNetStage(g, "stage3", 6, 256, 1024, 2, true)
+	resNetStage(g, "stage4", 3, 512, 2048, 2, true)
+	g.GlobalPool("gap")
+	g.Dense("fc", 1000, NoAct)
+	g.SoftmaxOver("softmax", 1000)
+	return g
+}
+
+// ResNet18Moderation builds the Content Moderation classifier (Rekognition
+// moderation style): a 224x224 ResNet-18 (~11.7M parameters).
+func ResNet18Moderation() *Graph {
+	g := NewGraph("resnet-18", 224, 224, 3)
+	g.Conv("conv1", 64, 7, 2, 3, ReLU)
+	g.MaxPool("pool1", 3, 2, 1)
+	resNetStage(g, "stage1", 2, 64, 64, 1, false)
+	resNetStage(g, "stage2", 2, 128, 128, 2, false)
+	resNetStage(g, "stage3", 2, 256, 256, 2, false)
+	resNetStage(g, "stage4", 2, 512, 512, 2, false)
+	g.GlobalPool("gap")
+	g.Dense("fc", 1000, NoAct)
+	g.SoftmaxOver("softmax", 1000)
+	return g
+}
+
+// SSDMobileNetPPE builds the PPE Detection model (Rekognition PPE style):
+// an SSD detector over a MobileNetV1 backbone at 640x640 input (small-object
+// PPE detection needs resolution). Compute is modest but input/intermediate
+// tensors are large, which is exactly the data-movement-bound profile the
+// paper highlights for this benchmark.
+func SSDMobileNetPPE() *Graph {
+	g := NewGraph("ssd-mobilenet-ppe", 640, 640, 3)
+	g.Conv("conv0", 32, 3, 2, 1, ReLU)
+	dw := func(name string, outC, stride int) {
+		g.DWConv(name+"_dw", 3, stride, 1, ReLU)
+		g.Conv(name+"_pw", outC, 1, 1, 0, ReLU)
+	}
+	dw("b1", 64, 1)
+	dw("b2", 128, 2)
+	dw("b3", 128, 1)
+	dw("b4", 256, 2)
+	dw("b5", 256, 1)
+	dw("b6", 512, 2)
+	for i := 0; i < 5; i++ {
+		dw("b7_"+string(rune('a'+i)), 512, 1)
+	}
+	// Detection head 1 reads the 32x32x512 map.
+	h1, w1, c1 := g.Shape()
+	dw("b12", 1024, 2)
+	dw("b13", 1024, 1)
+	h2, w2, c2 := g.Shape()
+	// SSD extra feature layers.
+	g.Conv("extra1_1x1", 256, 1, 1, 0, ReLU)
+	g.Conv("extra1_3x3", 512, 3, 2, 1, ReLU)
+	h3, w3, c3 := g.Shape()
+	g.Conv("extra2_1x1", 128, 1, 1, 0, ReLU)
+	g.Conv("extra2_3x3", 256, 3, 2, 1, ReLU)
+	h4, w4, c4 := g.Shape()
+	// Class+box heads: 6 anchors x (4 box + 8 PPE classes) = 72 outputs.
+	head := func(name string, h, w, c int) {
+		g.ConvBranch(name+"_cls", h, w, c, 72, 3, 3, 1, 1, 1, NoAct)
+	}
+	head("head1", h1, w1, c1)
+	head("head2", h2, w2, c2)
+	head("head3", h3, w3, c3)
+	head("head4", h4, w4, c4)
+	// NMS-style post-processing on the VPU.
+	g.Prep("decode_nms", int64(h1*w1+h2*w2+h3*w3+h4*w4)*72)
+	return g
+}
+
+// transformerEncoderBlock appends one standard pre-norm encoder block.
+func transformerEncoderBlock(g *Graph, name string, seq, dModel, heads, dFF int) {
+	headDim := dModel / heads
+	tokens := int64(seq) * int64(dModel)
+	g.LayerNorm(name+"_ln1", tokens, dModel)
+	g.TokenDense(name+"_q", seq, dModel, dModel, NoAct)
+	g.TokenDense(name+"_k", seq, dModel, dModel, NoAct)
+	g.TokenDense(name+"_v", seq, dModel, dModel, NoAct)
+	g.BatchMatMul(name+"_scores", seq, headDim, seq, heads)
+	g.SoftmaxOver(name+"_softmax", int64(heads)*int64(seq)*int64(seq))
+	g.BatchMatMul(name+"_attnv", seq, seq, headDim, heads)
+	g.TokenDense(name+"_proj", seq, dModel, dModel, NoAct)
+	g.Residual(name+"_add1", tokens)
+	g.LayerNorm(name+"_ln2", tokens, dModel)
+	g.TokenDense(name+"_ff1", seq, dModel, dFF, GeLU)
+	g.TokenDense(name+"_ff2", seq, dFF, dModel, NoAct)
+	g.Residual(name+"_add2", tokens)
+}
+
+// transformerDecoderBlock appends one decoder block with self- and
+// cross-attention (the translation model's decoder).
+func transformerDecoderBlock(g *Graph, name string, seq, srcSeq, dModel, heads, dFF int) {
+	headDim := dModel / heads
+	tokens := int64(seq) * int64(dModel)
+	g.LayerNorm(name+"_ln1", tokens, dModel)
+	g.TokenDense(name+"_sq", seq, dModel, dModel, NoAct)
+	g.TokenDense(name+"_sk", seq, dModel, dModel, NoAct)
+	g.TokenDense(name+"_sv", seq, dModel, dModel, NoAct)
+	g.BatchMatMul(name+"_sscores", seq, headDim, seq, heads)
+	g.SoftmaxOver(name+"_ssoftmax", int64(heads)*int64(seq)*int64(seq))
+	g.BatchMatMul(name+"_sattnv", seq, seq, headDim, heads)
+	g.TokenDense(name+"_sproj", seq, dModel, dModel, NoAct)
+	g.Residual(name+"_sadd", tokens)
+	g.LayerNorm(name+"_ln2", tokens, dModel)
+	g.TokenDense(name+"_cq", seq, dModel, dModel, NoAct)
+	g.TokenDense(name+"_ck", srcSeq, dModel, dModel, NoAct)
+	g.TokenDense(name+"_cv", srcSeq, dModel, dModel, NoAct)
+	g.BatchMatMul(name+"_cscores", seq, headDim, srcSeq, heads)
+	g.SoftmaxOver(name+"_csoftmax", int64(heads)*int64(seq)*int64(srcSeq))
+	g.BatchMatMul(name+"_cattnv", seq, srcSeq, headDim, heads)
+	g.TokenDense(name+"_cproj", seq, dModel, dModel, NoAct)
+	g.Residual(name+"_cadd", tokens)
+	g.LayerNorm(name+"_ln3", tokens, dModel)
+	g.TokenDense(name+"_ff1", seq, dModel, dFF, GeLU)
+	g.TokenDense(name+"_ff2", seq, dFF, dModel, NoAct)
+	g.Residual(name+"_fadd", tokens)
+}
+
+// BERTBaseChatbot builds the Conversational Chatbot encoder (BERT-base,
+// ~110M parameters) at sequence length 128.
+func BERTBaseChatbot() *Graph {
+	const (
+		seq    = 128
+		dModel = 768
+		heads  = 12
+		dFF    = 3072
+		vocab  = 30522
+	)
+	g := NewSequenceGraph("bert-base", seq)
+	g.Embed("tok_embed", vocab, dModel, seq)
+	g.Embed("pos_embed", 512, dModel, seq)
+	g.Embed("type_embed", 2, dModel, seq)
+	g.LayerNorm("embed_ln", int64(seq)*dModel, dModel)
+	for i := 0; i < 12; i++ {
+		transformerEncoderBlock(g, blockName("enc", i), seq, dModel, heads, dFF)
+	}
+	g.TokenDense("pooler", 1, dModel, dModel, Tanh)
+	g.TokenDense("intent_head", 1, dModel, 256, NoAct)
+	g.SoftmaxOver("intent_softmax", 256)
+	return g
+}
+
+// MarianTranslation builds the Document Translation model (Marian-style
+// 6+6 encoder-decoder, d=512, ~74M parameters) at sequence length 256.
+// Decoding is modeled as one teacher-forced forward pass over the output
+// sequence, the standard throughput-oriented approximation.
+func MarianTranslation() *Graph {
+	const (
+		seq    = 256
+		dModel = 512
+		heads  = 8
+		dFF    = 2048
+		vocab  = 58100
+	)
+	g := NewSequenceGraph("marian-translation", seq)
+	g.Embed("shared_embed", vocab, dModel, 2*seq)
+	for i := 0; i < 6; i++ {
+		transformerEncoderBlock(g, blockName("enc", i), seq, dModel, heads, dFF)
+	}
+	for i := 0; i < 6; i++ {
+		transformerDecoderBlock(g, blockName("dec", i), seq, seq, dModel, heads, dFF)
+	}
+	// Output projection shares the embedding matrix: compute without params.
+	g.BatchMatMul("lm_head", seq, dModel, vocab, 1)
+	g.SoftmaxOver("lm_softmax", int64(seq)*vocab)
+	return g
+}
+
+// inceptionTowerA appends one Inception-A style block and returns the
+// concatenated channel count.
+func inceptionTowerA(g *Graph, name string, poolProj int) int {
+	h, w, c := g.Shape()
+	g.ConvBranch(name+"_1x1", h, w, c, 64, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_5x5a", h, w, c, 48, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_5x5b", h, w, 48, 64, 5, 5, 1, 2, 2, ReLU)
+	g.ConvBranch(name+"_3x3a", h, w, c, 64, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_3x3b", h, w, 64, 96, 3, 3, 1, 1, 1, ReLU)
+	g.ConvBranch(name+"_3x3c", h, w, 96, 96, 3, 3, 1, 1, 1, ReLU)
+	g.ConvBranch(name+"_pool", h, w, c, poolProj, 1, 1, 1, 0, 0, ReLU)
+	out := 64 + 64 + 96 + poolProj
+	g.SetShape(h, w, out)
+	return out
+}
+
+// inceptionTowerB appends one Inception-B (factorized 7x7) block.
+func inceptionTowerB(g *Graph, name string, c7 int) {
+	h, w, c := g.Shape()
+	g.ConvBranch(name+"_1x1", h, w, c, 192, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_7a", h, w, c, c7, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_7b", h, w, c7, c7, 1, 7, 1, 0, 3, ReLU)
+	g.ConvBranch(name+"_7c", h, w, c7, 192, 7, 1, 1, 3, 0, ReLU)
+	g.ConvBranch(name+"_7da", h, w, c, c7, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_7db", h, w, c7, c7, 7, 1, 1, 3, 0, ReLU)
+	g.ConvBranch(name+"_7dc", h, w, c7, c7, 1, 7, 1, 0, 3, ReLU)
+	g.ConvBranch(name+"_7dd", h, w, c7, c7, 7, 1, 1, 3, 0, ReLU)
+	g.ConvBranch(name+"_7de", h, w, c7, 192, 1, 7, 1, 0, 3, ReLU)
+	g.ConvBranch(name+"_pool", h, w, c, 192, 1, 1, 1, 0, 0, ReLU)
+	g.SetShape(h, w, 768)
+}
+
+// inceptionTowerC appends one Inception-C (expanded) block.
+func inceptionTowerC(g *Graph, name string) {
+	h, w, c := g.Shape()
+	g.ConvBranch(name+"_1x1", h, w, c, 320, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_3a", h, w, c, 384, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_3b1", h, w, 384, 384, 1, 3, 1, 0, 1, ReLU)
+	g.ConvBranch(name+"_3b2", h, w, 384, 384, 3, 1, 1, 1, 0, ReLU)
+	g.ConvBranch(name+"_d3a", h, w, c, 448, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch(name+"_d3b", h, w, 448, 384, 3, 3, 1, 1, 1, ReLU)
+	g.ConvBranch(name+"_d3c1", h, w, 384, 384, 1, 3, 1, 0, 1, ReLU)
+	g.ConvBranch(name+"_d3c2", h, w, 384, 384, 3, 1, 1, 1, 0, ReLU)
+	g.ConvBranch(name+"_pool", h, w, c, 192, 1, 1, 1, 0, 0, ReLU)
+	g.SetShape(h, w, 2048)
+}
+
+// InceptionV3Clinical builds the Clinical Analysis classifier (Inception-v3
+// at 299x299, ~23.8M parameters, the leukemia-classification use case).
+func InceptionV3Clinical() *Graph {
+	g := NewGraph("inception-v3", 299, 299, 3)
+	g.Conv("stem1", 32, 3, 2, 0, ReLU)
+	g.Conv("stem2", 32, 3, 1, 0, ReLU)
+	g.Conv("stem3", 64, 3, 1, 1, ReLU)
+	g.MaxPool("stem_pool1", 3, 2, 0)
+	g.Conv("stem4", 80, 1, 1, 0, ReLU)
+	g.Conv("stem5", 192, 3, 1, 0, ReLU)
+	g.MaxPool("stem_pool2", 3, 2, 0)
+	inceptionTowerA(g, "mixed0", 32)
+	inceptionTowerA(g, "mixed1", 64)
+	inceptionTowerA(g, "mixed2", 64)
+	// Reduction A: 35x35x288 -> 17x17x768.
+	h, w, c := g.Shape()
+	g.ConvBranch("redA_3x3", h, w, c, 384, 3, 3, 2, 0, 0, ReLU)
+	g.ConvBranch("redA_d3a", h, w, c, 64, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch("redA_d3b", h, w, 64, 96, 3, 3, 1, 1, 1, ReLU)
+	g.ConvBranch("redA_d3c", h, w, 96, 96, 3, 3, 2, 0, 0, ReLU)
+	g.SetShape((h-3)/2+1, (w-3)/2+1, 768)
+	inceptionTowerB(g, "mixed4", 128)
+	inceptionTowerB(g, "mixed5", 160)
+	inceptionTowerB(g, "mixed6", 160)
+	inceptionTowerB(g, "mixed7", 192)
+	// Reduction B: 17x17x768 -> 8x8x1280.
+	h, w, c = g.Shape()
+	g.ConvBranch("redB_3a", h, w, c, 192, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch("redB_3b", h, w, 192, 320, 3, 3, 2, 0, 0, ReLU)
+	g.ConvBranch("redB_7a", h, w, c, 192, 1, 1, 1, 0, 0, ReLU)
+	g.ConvBranch("redB_7b", h, w, 192, 192, 1, 7, 1, 0, 3, ReLU)
+	g.ConvBranch("redB_7c", h, w, 192, 192, 7, 1, 1, 3, 0, ReLU)
+	g.ConvBranch("redB_7d", h, w, 192, 192, 3, 3, 2, 0, 0, ReLU)
+	g.SetShape((h-3)/2+1, (w-3)/2+1, 1280)
+	inceptionTowerC(g, "mixed9")
+	g.SetShape(8, 8, 2048)
+	inceptionTowerC(g, "mixed10")
+	g.SetShape(8, 8, 2048)
+	g.GlobalPool("gap")
+	g.Dense("fc", 1000, NoAct)
+	g.SoftmaxOver("softmax", 1000)
+	return g
+}
+
+// ViTRemoteSensing builds the Remote Sensing classifier (ViT-B/16 at
+// 224x224, ~86M parameters — the wildfire-detection vision transformer).
+func ViTRemoteSensing() *Graph {
+	const (
+		dModel = 768
+		heads  = 12
+		dFF    = 3072
+		seq    = 197 // 14x14 patches + CLS token
+	)
+	g := NewGraph("vit-b16", 224, 224, 3)
+	g.Conv("patch_embed", dModel, 16, 16, 0, NoAct)
+	g.Embed("pos_embed", seq, dModel, seq)
+	for i := 0; i < 12; i++ {
+		transformerEncoderBlock(g, blockName("blk", i), seq, dModel, heads, dFF)
+	}
+	g.LayerNorm("final_ln", int64(seq)*dModel, dModel)
+	g.TokenDense("head", 1, dModel, 1000, NoAct)
+	g.SoftmaxOver("softmax", 1000)
+	return g
+}
+
+func blockName(prefix string, i int) string {
+	return prefix + "_" + string(rune('0'+i/10)) + string(rune('0'+i%10))
+}
+
+// GPT2Generative builds a GPT-2 small decoder (124M parameters) at a
+// 512-token prefill — the generative-AI workload class the paper names as
+// the fastest-growing serverless domain. It is not part of the Table 1
+// suite; it exercises the toolchain on a decoder-only LLM.
+func GPT2Generative() *Graph {
+	const (
+		seq    = 512
+		dModel = 768
+		heads  = 12
+		dFF    = 3072
+		vocab  = 50257
+		ctx    = 1024
+	)
+	g := NewSequenceGraph("gpt2-small", seq)
+	g.Embed("wte", vocab, dModel, seq)
+	g.Embed("wpe", ctx, dModel, seq)
+	for i := 0; i < 12; i++ {
+		transformerEncoderBlock(g, blockName("blk", i), seq, dModel, heads, dFF)
+	}
+	g.LayerNorm("final_ln", int64(seq)*dModel, dModel)
+	// Tied output head: compute without extra parameters.
+	g.BatchMatMul("lm_head", seq, dModel, vocab, 1)
+	g.SoftmaxOver("lm_softmax", int64(seq)*vocab)
+	return g
+}

@@ -1,0 +1,230 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dscs/internal/tensor"
+)
+
+// paramTol checks a parameter count against the published value within tol
+// (fractional). Structural fidelity of the zoo is what the compiler and the
+// cold-start model depend on.
+func paramTol(t *testing.T, g *Graph, want float64, tol float64) {
+	t.Helper()
+	got := float64(g.Params())
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Errorf("%s params = %.2fM, want %.2fM +/- %.0f%%",
+			g.Name, got/1e6, want/1e6, tol*100)
+	}
+}
+
+func TestResNet50Fidelity(t *testing.T) {
+	g := ResNet50()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 25.6e6, 0.05)
+	// ~3.9 GMACs = ~7.8 GFLOPs at 224x224.
+	gf := float64(g.FLOPs()) / 1e9
+	if gf < 7.0 || gf > 8.8 {
+		t.Errorf("resnet-50 GFLOPs = %.2f, want ~7.8 (3.9 GMACs)", gf)
+	}
+}
+
+func TestResNet18Fidelity(t *testing.T) {
+	g := ResNet18Moderation()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 11.7e6, 0.05)
+	gf := float64(g.FLOPs()) / 1e9
+	if gf < 3.0 || gf > 4.2 { // 1.8 GMACs = 3.6 GFLOPs
+		t.Errorf("resnet-18 GFLOPs = %.2f, want ~3.6", gf)
+	}
+}
+
+func TestBERTBaseFidelity(t *testing.T) {
+	g := BERTBaseChatbot()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 110e6, 0.05)
+	// ~22.4 GFLOPs at seq 128 (2 * 87.5M weight-macs * 128 tokens).
+	gf := float64(g.FLOPs()) / 1e9
+	if gf < 18 || gf > 28 {
+		t.Errorf("bert GFLOPs = %.2f, want ~22", gf)
+	}
+}
+
+func TestViTFidelity(t *testing.T) {
+	g := ViTRemoteSensing()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 86e6, 0.06)
+	gf := float64(g.FLOPs()) / 1e9
+	if gf < 32 || gf > 39 { // 17.6 GMACs = ~35 GFLOPs
+		t.Errorf("vit GFLOPs = %.2f, want ~35 (17.6 GMACs)", gf)
+	}
+}
+
+func TestMarianFidelity(t *testing.T) {
+	g := MarianTranslation()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 74e6, 0.06)
+}
+
+func TestInceptionV3Fidelity(t *testing.T) {
+	g := InceptionV3Clinical()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 23.8e6, 0.08)
+	gf := float64(g.FLOPs()) / 1e9
+	if gf < 9 || gf > 13 { // 5.7 GMACs = 11.4 GFLOPs
+		t.Errorf("inception GFLOPs = %.2f, want ~11.4", gf)
+	}
+}
+
+func TestSSDMobileNetFidelity(t *testing.T) {
+	g := SSDMobileNetPPE()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// MobileNetV1 backbone 4.2M + SSD heads: several million.
+	p := float64(g.Params()) / 1e6
+	if p < 4 || p > 9 {
+		t.Errorf("ssd-mobilenet params = %.2fM, want 4-9M", p)
+	}
+}
+
+func TestLogisticRegressionTiny(t *testing.T) {
+	g := LogisticRegressionCredit(4096)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Params() > 1000 {
+		t.Errorf("logreg params = %d, want tiny", g.Params())
+	}
+	// FLOPs scale with the record count.
+	small := LogisticRegressionCredit(16).FLOPs()
+	big := LogisticRegressionCredit(1600).FLOPs()
+	if big < 50*small {
+		t.Errorf("logreg FLOPs don't scale with records: %d vs %d", small, big)
+	}
+}
+
+func TestConvShapeTracking(t *testing.T) {
+	g := NewGraph("t", 224, 224, 3)
+	g.Conv("c1", 64, 7, 2, 3, ReLU)
+	if h, w, c := g.Shape(); h != 112 || w != 112 || c != 64 {
+		t.Fatalf("after conv1: %dx%dx%d, want 112x112x64", h, w, c)
+	}
+	g.MaxPool("p1", 3, 2, 1)
+	if h, w, _ := g.Shape(); h != 56 || w != 56 {
+		t.Fatalf("after pool: %dx%d, want 56x56", h, w)
+	}
+}
+
+func TestGEMMDims(t *testing.T) {
+	g := NewGraph("t", 56, 56, 64)
+	l := g.Conv("c", 128, 3, 1, 1, NoAct)
+	m, k, n, count, ok := l.GEMMDims()
+	if !ok || m != 56*56 || k != 3*3*64 || n != 128 || count != 1 {
+		t.Fatalf("conv GEMM dims = %d,%d,%d,%d", m, k, n, count)
+	}
+	dl := &Layer{Kind: Dense, InFeatures: 768, OutFeatures: 3072, M: 128}
+	m, k, n, count, _ = dl.GEMMDims()
+	if m != 128 || k != 768 || n != 3072 || count != 1 {
+		t.Fatalf("token dense GEMM dims = %d,%d,%d,%d", m, k, n, count)
+	}
+	vec := &Layer{Kind: Softmax, Elems: 100}
+	if _, _, _, _, ok := vec.GEMMDims(); ok {
+		t.Fatal("softmax must not be a GEMM")
+	}
+}
+
+func TestDepthwiseParams(t *testing.T) {
+	g := NewGraph("t", 112, 112, 32)
+	l := g.DWConv("dw", 3, 1, 1, ReLU)
+	if w := l.WeightElems(); w != 3*3*32+32 {
+		t.Fatalf("dwconv weights = %d", w)
+	}
+	m, k, n, count, _ := l.GEMMDims()
+	if m != 112*112 || k != 9 || n != 1 || count != 32 {
+		t.Fatalf("dwconv GEMM dims = %d,%d,%d,%d", m, k, n, count)
+	}
+}
+
+func TestFLOPsNonNegativeProperty(t *testing.T) {
+	f := func(h, w, c, oc, k uint8) bool {
+		hh, ww := int(h%64)+8, int(w%64)+8
+		cc, oo := int(c%64)+1, int(oc%64)+1
+		kk := int(k%3)*2 + 1
+		g := NewGraph("p", hh, ww, cc)
+		l := g.Conv("c", oo, kk, 1, kk/2, NoAct)
+		return l.FLOPs() > 0 && l.WeightElems() > 0 &&
+			l.InputElems() > 0 && l.OutputElems() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphMACsVsFLOPs(t *testing.T) {
+	g := ResNet50()
+	// FLOPs should be at least 2x MACs (GEMM) and include vector work.
+	if g.FLOPs() < 2*g.MACs() {
+		t.Errorf("FLOPs %d < 2*MACs %d", g.FLOPs(), g.MACs())
+	}
+}
+
+func TestAllZooModelsValidate(t *testing.T) {
+	models := []*Graph{
+		LogisticRegressionCredit(4096), ResNet50(), SSDMobileNetPPE(),
+		BERTBaseChatbot(), MarianTranslation(), InceptionV3Clinical(),
+		ResNet18Moderation(), ViTRemoteSensing(),
+	}
+	seen := map[string]bool{}
+	for _, g := range models {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: %v", g.Name, err)
+		}
+		if seen[g.Name] {
+			t.Errorf("duplicate model name %q", g.Name)
+		}
+		seen[g.Name] = true
+		if g.Params() <= 0 || g.FLOPs() <= 0 {
+			t.Errorf("%s: degenerate params/FLOPs", g.Name)
+		}
+	}
+	if len(models) != 8 {
+		t.Fatalf("zoo has %d models, want 8 (Table 1)", len(models))
+	}
+}
+
+func TestWeightBytesByDtype(t *testing.T) {
+	g := ResNet18Moderation()
+	if g.WeightBytes(tensor.Float32) != 4*g.Params() {
+		t.Error("fp32 weight bytes mismatch")
+	}
+	if g.WeightBytes(tensor.Int8) != g.Params() {
+		t.Error("int8 weight bytes mismatch")
+	}
+}
+
+func TestGPT2Fidelity(t *testing.T) {
+	g := GPT2Generative()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	paramTol(t, g, 124e6, 0.05)
+	// Prefill at seq 512 is tens of GMACs.
+	gm := float64(g.MACs()) / 1e9
+	if gm < 50 || gm > 110 {
+		t.Errorf("gpt2 prefill GMACs = %.1f, want 50-110", gm)
+	}
+}

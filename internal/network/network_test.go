@@ -1,0 +1,109 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/metrics"
+	"dscs/internal/sim"
+	"dscs/internal/units"
+)
+
+func TestIntraDCValidates(t *testing.T) {
+	if err := IntraDC().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Egress().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := IntraDC()
+	bad.PerFlowBW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero bandwidth must fail")
+	}
+	bad2 := IntraDC()
+	bad2.FirstByte.Median = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("zero first-byte must fail")
+	}
+}
+
+func TestMedianComposition(t *testing.T) {
+	f := IntraDC()
+	// Small read: ~RTT + first-byte.
+	small := f.MedianLatency(4 * units.KB)
+	if small < 10*time.Millisecond || small > 30*time.Millisecond {
+		t.Errorf("small read median = %v, want 10-30ms", small)
+	}
+	// 18.6 MB (PPE) read: transfer-dominated, ~100-200ms.
+	big := f.MedianLatency(units.Bytes(18.6 * 1e6))
+	if big < 70*time.Millisecond || big > 250*time.Millisecond {
+		t.Errorf("18.6MB read median = %v, want 70-250ms", big)
+	}
+	if big <= small {
+		t.Error("larger payloads must be slower")
+	}
+}
+
+func TestTailRatioMatchesPaper(t *testing.T) {
+	// The paper: p99 about 110% above the median (factor ~2.1) for reads.
+	f := IntraDC()
+	for _, payload := range []units.Bytes{4 * units.KB, 3 * units.MB} {
+		p50 := f.QuantileLatency(payload, 0.5)
+		p99 := f.QuantileLatency(payload, 0.99)
+		ratio := float64(p99) / float64(p50)
+		if ratio < 1.6 || ratio > 2.4 {
+			t.Errorf("p99/p50 at %v = %.2f, want ~2", payload, ratio)
+		}
+	}
+}
+
+func TestSampledMatchesAnalytic(t *testing.T) {
+	f := IntraDC()
+	rng := sim.NewRNG(3)
+	sample := metrics.NewSample(20000)
+	for i := 0; i < 20000; i++ {
+		sample.Add(f.RequestLatency(units.MB, rng))
+	}
+	p50 := sample.Percentile(0.5)
+	want := f.QuantileLatency(units.MB, 0.5)
+	diff := float64(p50-want) / float64(want)
+	if diff < -0.05 || diff > 0.05 {
+		t.Errorf("sampled median %v vs analytic %v", p50, want)
+	}
+	p99 := sample.Percentile(0.99)
+	want99 := f.QuantileLatency(units.MB, 0.99)
+	diff99 := float64(p99-want99) / float64(want99)
+	if diff99 < -0.12 || diff99 > 0.12 {
+		t.Errorf("sampled p99 %v vs analytic %v", p99, want99)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	f := IntraDC()
+	var prev time.Duration
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		lat := f.QuantileLatency(2*units.MB, q)
+		if lat <= prev {
+			t.Fatalf("quantile latency not monotone at %v", q)
+		}
+		prev = lat
+	}
+}
+
+func TestScaled(t *testing.T) {
+	f := IntraDC()
+	doubled := f.Scaled(2)
+	if doubled.FirstByte.Median != 2*f.FirstByte.Median {
+		t.Error("Scaled must scale the first-byte median")
+	}
+	if doubled.PerFlowBW != f.PerFlowBW {
+		t.Error("Scaled must not touch bandwidth")
+	}
+}
+
+func TestEgressCheaperThanStorage(t *testing.T) {
+	if Egress().MedianLatency(8*units.KB) >= IntraDC().MedianLatency(8*units.MB) {
+		t.Error("small egress should beat a large storage read")
+	}
+}

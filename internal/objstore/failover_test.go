@@ -1,0 +1,132 @@
+package objstore
+
+import (
+	"testing"
+
+	"dscs/internal/units"
+)
+
+func TestFailoverRead(t *testing.T) {
+	s := testStore(t, 4, 2)
+	if _, err := s.Put("k", 4*units.MB, false); err != nil {
+		t.Fatal(err)
+	}
+	obj, _ := s.Lookup("k")
+	primary := obj.Chunks[0].Replicas[0].NodeID
+
+	// Healthy read works.
+	healthyLat, _, err := s.GetWithFailover("k", 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill one replica holder: reads still succeed, slightly slower when
+	// the dead node was first in rotation.
+	if err := s.FailNode(primary); err != nil {
+		t.Fatal(err)
+	}
+	lat, _, err := s.GetWithFailover("k", 0.5)
+	if err != nil {
+		t.Fatalf("read must fail over: %v", err)
+	}
+	if lat <= 0 || healthyLat <= 0 {
+		t.Fatal("degenerate latencies")
+	}
+
+	// Kill every replica holder: the read fails.
+	for _, rep := range obj.Chunks[0].Replicas {
+		s.FailNode(rep.NodeID)
+	}
+	if _, _, err := s.GetWithFailover("k", 0.5); err == nil {
+		t.Fatal("read with all replicas down must fail")
+	}
+
+	// Recovery restores service.
+	for _, rep := range obj.Chunks[0].Replicas {
+		if err := s.RecoverNode(rep.NodeID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := s.GetWithFailover("k", 0.5); err != nil {
+		t.Fatalf("read after recovery: %v", err)
+	}
+}
+
+func TestFailNodeUnknown(t *testing.T) {
+	s := testStore(t, 3, 0)
+	if err := s.FailNode("ghost"); err == nil {
+		t.Fatal("unknown node must error")
+	}
+	if err := s.RecoverNode("ghost"); err == nil {
+		t.Fatal("unknown node must error")
+	}
+}
+
+func TestDSCSFailoverToConventional(t *testing.T) {
+	s := testStore(t, 4, 2)
+	if _, err := s.Put("accel", 2*units.MB, true); err != nil {
+		t.Fatal(err)
+	}
+	node, _, ok := s.DSCSReplicaHealthy("accel")
+	if !ok {
+		t.Fatal("healthy DSCS replica expected")
+	}
+	// The drive dies: in-storage execution becomes unavailable...
+	s.FailNode(node.ID)
+	if _, _, ok := s.DSCSReplicaHealthy("accel"); ok {
+		t.Fatal("dead DSCS node still offered")
+	}
+	// ...but the data is still readable from the surviving replicas.
+	if _, _, err := s.GetWithFailover("accel", 0.5); err != nil {
+		t.Fatalf("conventional fallback read failed: %v", err)
+	}
+}
+
+func TestReReplication(t *testing.T) {
+	s := testStore(t, 4, 2)
+	for _, key := range []string{"a", "b", "c"} {
+		if _, err := s.Put(key, 3*units.MB, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	node, _, _ := s.DSCSReplica("a")
+	s.FailNode(node.ID)
+
+	chunks, moved, err := s.ReReplicate(node.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks == 0 || moved == 0 {
+		t.Fatal("nothing repaired despite lost replicas")
+	}
+
+	// Every object is back at full replication on healthy nodes, and
+	// acceleratable objects regained a DSCS replica if one survives.
+	for _, key := range []string{"a", "b", "c"} {
+		obj, _ := s.Lookup(key)
+		for _, chunk := range obj.Chunks {
+			if len(chunk.Replicas) != 3 {
+				t.Fatalf("%q: replica count %d", key, len(chunk.Replicas))
+			}
+			for _, rep := range chunk.Replicas {
+				n, _ := s.Node(rep.NodeID)
+				if !n.healthy() {
+					t.Fatalf("%q still has a replica on the dead node", key)
+				}
+			}
+		}
+		if _, _, ok := s.DSCSReplicaHealthy(key); !ok {
+			t.Errorf("%q lost DSCS coverage after repair", key)
+		}
+	}
+	if s.HealthyNodes() != 5 {
+		t.Fatalf("healthy nodes = %d, want 5", s.HealthyNodes())
+	}
+}
+
+func TestReReplicateUnknownNode(t *testing.T) {
+	s := testStore(t, 3, 0)
+	if _, _, err := s.ReReplicate("ghost"); err == nil {
+		t.Fatal("unknown node must error")
+	}
+}

@@ -1,0 +1,120 @@
+// Package pcie models PCIe links and DMA transfers: per-generation lane
+// bandwidth, protocol efficiency, propagation latency, and transfer energy.
+// Both the drive's host interface and the internal peer-to-peer connection
+// between the flash controller and the DSA are instances of Link.
+package pcie
+
+import (
+	"fmt"
+	"time"
+
+	"dscs/internal/power"
+	"dscs/internal/units"
+)
+
+// Link is a PCIe connection with a generation and lane count.
+type Link struct {
+	Gen   int
+	Lanes int
+	// Efficiency derates raw bandwidth for TLP/DLLP overhead (0..1];
+	// zero selects the default 0.9.
+	Efficiency float64
+	// Propagation is the one-way link latency; zero selects 500 ns.
+	Propagation time.Duration
+}
+
+// perLaneRaw returns the raw per-lane bandwidth of a generation.
+func perLaneRaw(gen int) units.Bandwidth {
+	switch gen {
+	case 1:
+		return 0.25 * units.GBps
+	case 2:
+		return 0.5 * units.GBps
+	case 3:
+		return 0.985 * units.GBps
+	case 4:
+		return 1.969 * units.GBps
+	case 5:
+		return 3.938 * units.GBps
+	}
+	return 0
+}
+
+// Validate rejects unknown generations and lane counts.
+func (l Link) Validate() error {
+	if perLaneRaw(l.Gen) == 0 {
+		return fmt.Errorf("pcie: unknown generation %d", l.Gen)
+	}
+	switch l.Lanes {
+	case 1, 2, 4, 8, 16:
+	default:
+		return fmt.Errorf("pcie: invalid lane count %d", l.Lanes)
+	}
+	if l.Efficiency < 0 || l.Efficiency > 1 {
+		return fmt.Errorf("pcie: efficiency %v out of range", l.Efficiency)
+	}
+	return nil
+}
+
+func (l Link) efficiency() float64 {
+	if l.Efficiency == 0 {
+		return 0.9
+	}
+	return l.Efficiency
+}
+
+func (l Link) propagation() time.Duration {
+	if l.Propagation == 0 {
+		return 500 * time.Nanosecond
+	}
+	return l.Propagation
+}
+
+// Bandwidth returns the effective payload bandwidth.
+func (l Link) Bandwidth() units.Bandwidth {
+	return perLaneRaw(l.Gen) * units.Bandwidth(float64(l.Lanes)*l.efficiency())
+}
+
+// TransferTime returns the time to move n bytes across the link.
+func (l Link) TransferTime(n units.Bytes) time.Duration {
+	return l.propagation() + l.Bandwidth().TransferTime(n)
+}
+
+// TransferEnergy returns the link energy to move n bytes.
+func (l Link) TransferEnergy(n units.Bytes) units.Energy {
+	if n <= 0 {
+		return 0
+	}
+	return units.Energy(float64(n)) * power.PCIeEnergyPerByte
+}
+
+// String renders the link, e.g. "PCIe3 x4".
+func (l Link) String() string { return fmt.Sprintf("PCIe%d x%d", l.Gen, l.Lanes) }
+
+// Gen3x4 is the SmartSSD-class host interface.
+func Gen3x4() Link { return Link{Gen: 3, Lanes: 4} }
+
+// Gen3x16 is the GPU-class host interface.
+func Gen3x16() Link { return Link{Gen: 3, Lanes: 16} }
+
+// DMAEngine issues descriptor-based transfers over a link with a fixed
+// per-descriptor setup cost (doorbell write + descriptor fetch).
+type DMAEngine struct {
+	Link  Link
+	Setup time.Duration // zero selects 1 us
+}
+
+func (d DMAEngine) setup() time.Duration {
+	if d.Setup == 0 {
+		return time.Microsecond
+	}
+	return d.Setup
+}
+
+// Transfer returns the latency and energy of one DMA of n bytes.
+func (d DMAEngine) Transfer(n units.Bytes) (time.Duration, units.Energy) {
+	if n <= 0 {
+		return d.setup(), 0
+	}
+	return d.setup() + d.Link.TransferTime(n), d.Link.TransferEnergy(n)
+}

@@ -1,0 +1,108 @@
+package pcie
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dscs/internal/units"
+)
+
+func TestLaneBandwidths(t *testing.T) {
+	// Gen3 x4 (SmartSSD) ~3.5 GB/s effective at 0.9 efficiency.
+	bw := Gen3x4().Bandwidth()
+	if bw < 3.4*units.GBps || bw > 3.6*units.GBps {
+		t.Errorf("gen3 x4 bw = %v, want ~3.5GB/s", bw)
+	}
+	// Gen3 x16 (GPU) ~14 GB/s.
+	bw16 := Gen3x16().Bandwidth()
+	if bw16 < 13*units.GBps || bw16 > 15*units.GBps {
+		t.Errorf("gen3 x16 bw = %v, want ~14GB/s", bw16)
+	}
+	if bw16 != 4*bw {
+		t.Errorf("x16 should be 4x the x4 bandwidth: %v vs %v", bw16, bw)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := Gen3x4()
+	// Propagation floor on tiny transfers.
+	if d := l.TransferTime(1); d < 500*time.Nanosecond {
+		t.Errorf("tiny transfer %v below propagation floor", d)
+	}
+	// 35.46 MB at ~3.546 GB/s ~= 10 ms.
+	d := l.TransferTime(35 * units.MB)
+	if d < 9*time.Millisecond || d > 11*time.Millisecond {
+		t.Errorf("35MB transfer = %v, want ~10ms", d)
+	}
+}
+
+func TestTransferMonotonicProperty(t *testing.T) {
+	l := Gen3x4()
+	f := func(a, b uint32) bool {
+		x, y := units.Bytes(a), units.Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return l.TransferTime(x) <= l.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransferEnergy(t *testing.T) {
+	l := Gen3x4()
+	e := l.TransferEnergy(units.MB)
+	// 1 MB * 40 pJ/B = 40 uJ.
+	if e < 39*units.MicroJoule || e > 41*units.MicroJoule {
+		t.Errorf("1MB energy = %v, want ~40uJ", e)
+	}
+	if l.TransferEnergy(0) != 0 || l.TransferEnergy(-5) != 0 {
+		t.Error("non-positive transfers are free")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := []Link{Gen3x4(), Gen3x16(), {Gen: 4, Lanes: 8}, {Gen: 5, Lanes: 1}}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", l, err)
+		}
+	}
+	bad := []Link{{Gen: 0, Lanes: 4}, {Gen: 3, Lanes: 3}, {Gen: 6, Lanes: 4},
+		{Gen: 3, Lanes: 4, Efficiency: 1.5}}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("%v should be rejected", l)
+		}
+	}
+}
+
+func TestDMAEngine(t *testing.T) {
+	d := DMAEngine{Link: Gen3x4()}
+	lat, e := d.Transfer(units.MB)
+	direct := Gen3x4().TransferTime(units.MB)
+	if lat != time.Microsecond+direct {
+		t.Errorf("DMA latency = %v, want setup + %v", lat, direct)
+	}
+	if e != Gen3x4().TransferEnergy(units.MB) {
+		t.Errorf("DMA energy = %v", e)
+	}
+	// Empty transfer still pays the descriptor setup.
+	lat0, e0 := d.Transfer(0)
+	if lat0 != time.Microsecond || e0 != 0 {
+		t.Errorf("empty DMA = %v/%v", lat0, e0)
+	}
+	custom := DMAEngine{Link: Gen3x4(), Setup: 5 * time.Microsecond}
+	lat5, _ := custom.Transfer(0)
+	if lat5 != 5*time.Microsecond {
+		t.Errorf("custom setup = %v", lat5)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Gen3x4().String(); s != "PCIe3 x4" {
+		t.Errorf("link string = %q", s)
+	}
+}

@@ -1,0 +1,142 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/model"
+)
+
+func TestAllPlatformsComplete(t *testing.T) {
+	ps := All()
+	if len(ps) != 7 {
+		t.Fatalf("lineup has %d platforms, want 7 (Table 2)", len(ps))
+	}
+	seen := map[string]bool{}
+	g := model.ResNet18Moderation()
+	for _, p := range ps {
+		if seen[p.Name()] {
+			t.Errorf("duplicate platform %q", p.Name())
+		}
+		seen[p.Name()] = true
+		if p.TDP() <= 0 || p.Price() <= 0 {
+			t.Errorf("%s: degenerate TDP/price", p.Name())
+		}
+		lat, energy, err := p.Infer(g, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if lat <= 0 || energy <= 0 {
+			t.Errorf("%s: degenerate inference %v/%v", p.Name(), lat, energy)
+		}
+	}
+}
+
+func TestClassPartitioning(t *testing.T) {
+	classes := map[string]Class{
+		"Baseline (CPU)":     Traditional,
+		"GPU (2080 Ti)":      Traditional,
+		"FPGA (U280)":        Traditional,
+		"NS-ARM":             NearStorage,
+		"NS-Mobile-GPU":      NearStorage,
+		"NS-FPGA (SmartSSD)": NearStorage,
+		"DSCS-Serverless":    InStorageDSA,
+	}
+	for _, p := range All() {
+		want, ok := classes[p.Name()]
+		if !ok {
+			t.Fatalf("unexpected platform %q", p.Name())
+		}
+		if p.Class() != want {
+			t.Errorf("%s class = %v, want %v", p.Name(), p.Class(), want)
+		}
+		if p.NearStorage() != (want != Traditional) {
+			t.Errorf("%s NearStorage inconsistent with class", p.Name())
+		}
+	}
+}
+
+func TestComputeOrdering(t *testing.T) {
+	// Raw inference latency ordering on a CNN: DSA < GPU < CPU < ARM.
+	g := model.ResNet50()
+	lat := func(p Compute) time.Duration {
+		l, _, err := p.Infer(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return l
+	}
+	dsa := lat(DSCS())
+	gpu := lat(GPU())
+	cpu := lat(BaselineCPU())
+	arm := lat(NSARM())
+	if !(dsa < gpu && gpu < cpu && cpu < arm) {
+		t.Errorf("compute ordering violated: dsa=%v gpu=%v cpu=%v arm=%v",
+			dsa, gpu, cpu, arm)
+	}
+}
+
+func TestGPUBatchUtilization(t *testing.T) {
+	// GPUs are underutilized at batch 1 (the paper's observation): per-item
+	// latency at batch 16 must be far below batch 1.
+	g := model.ResNet50()
+	gpu := GPU()
+	l1, _, _ := gpu.Infer(g, 1)
+	l16, _, _ := gpu.Infer(g, 16)
+	perItem := l16 / 16
+	if float64(l1)/float64(perItem) < 2 {
+		t.Errorf("GPU batching gain too small: %v vs %v/item", l1, perItem)
+	}
+}
+
+func TestDeviceCopyLinks(t *testing.T) {
+	if _, ok := BaselineCPU().DeviceCopy(); ok {
+		t.Error("CPU needs no device copies")
+	}
+	link, ok := GPU().DeviceCopy()
+	if !ok || link.Lanes != 16 {
+		t.Errorf("GPU should sit on x16: %v ok=%v", link, ok)
+	}
+}
+
+func TestDSAPlatformMemoization(t *testing.T) {
+	p := DSCS().(*DSAPlatform)
+	g := model.InceptionV3Clinical()
+	l1, e1, err := p.Infer(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, e2, err := p.Infer(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 != l2 || e1 != e2 {
+		t.Error("memoized inference must be deterministic")
+	}
+}
+
+func TestFPGAEnergyAboveASIC(t *testing.T) {
+	// Same architecture class, but FPGA fabric burns far more per op.
+	g := model.ResNet18Moderation()
+	_, eASIC, _ := DSCS().Infer(g, 1)
+	_, eFPGA, _ := NSFPGA().Infer(g, 1)
+	if eFPGA <= eASIC {
+		t.Errorf("FPGA energy (%v) should exceed ASIC (%v)", eFPGA, eASIC)
+	}
+}
+
+func TestRooflineErrors(t *testing.T) {
+	if _, _, err := BaselineCPU().Infer(model.ResNet50(), 0); err == nil {
+		t.Error("batch 0 must fail")
+	}
+}
+
+func TestInStorageDSAIsLowPower(t *testing.T) {
+	// The headline contrast: 4.2W in-storage vs 250W GPU.
+	if DSCS().TDP() > 5 {
+		t.Errorf("DSCS TDP = %v, want <=5W", DSCS().TDP())
+	}
+	if GPU().TDP() != 250 {
+		t.Errorf("GPU TDP = %v, want 250W", GPU().TDP())
+	}
+}

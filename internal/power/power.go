@@ -1,0 +1,206 @@
+// Package power provides the energy and area models used for the DSA's ASIC
+// estimates: per-MAC and SRAM access energies at the 45 nm FreePDK node
+// (following Horowitz-style energy tables and a CACTI-style capacity scaling
+// law), DRAM and PCIe interface energies, leakage, and DeepScaleTool-style
+// scaling factors from 45 nm to 14 nm — the methodology the paper uses to
+// project its SmartSSD-class design.
+package power
+
+import (
+	"math"
+	"time"
+
+	"dscs/internal/units"
+)
+
+// TechNode holds the per-operation energy and area parameters of a process.
+type TechNode struct {
+	Name string
+
+	// MACEnergy is the energy of one 8-bit MAC including local registers.
+	MACEnergy units.Energy
+	// VectorOpEnergy is the energy of one VPU lane-op (ALU + registers).
+	VectorOpEnergy units.Energy
+	// SRAMBase and SRAMSlope define the per-byte access energy of an
+	// on-chip buffer of capacity c: base + slope*sqrt(c in MB).
+	SRAMBase, SRAMSlope units.Energy
+	// LeakagePerMM2 is static power per unit area.
+	LeakagePerMM2 units.Power
+
+	// PEArea is the area of one 8-bit PE (MAC + registers + control).
+	PEArea units.Area
+	// SRAMAreaPerByte is buffer density.
+	SRAMAreaPerByte units.Area
+	// MiscAreaFactor inflates the core area for NoC/control/IO.
+	MiscAreaFactor float64
+}
+
+// Node45nm is the FreePDK 45 nm baseline used by the design-space
+// exploration, with energies in the range published for this node.
+var Node45nm = TechNode{
+	Name:            "45nm",
+	MACEnergy:       0.9 * units.PicoJoule,
+	VectorOpEnergy:  1.2 * units.PicoJoule,
+	SRAMBase:        0.4 * units.PicoJoule,
+	SRAMSlope:       0.45 * units.PicoJoule,
+	LeakagePerMM2:   0.020,   // W/mm2
+	PEArea:          6.0e-3,  // mm2 per PE
+	SRAMAreaPerByte: 2.66e-5, // mm2/byte (~0.38 Mb/mm2 density at 45 nm)
+	MiscAreaFactor:  1.15,
+}
+
+// ScaleFactors captures DeepScaleTool-style scaling between nodes.
+type ScaleFactors struct {
+	Power float64 // dynamic energy scale
+	Area  float64
+}
+
+// Scale45To14 are the 45 nm -> 14 nm factors (the SmartSSD-class node).
+var Scale45To14 = ScaleFactors{Power: 0.21, Area: 0.11}
+
+// Scaled returns the node with energies and areas scaled by f.
+func (t TechNode) Scaled(name string, f ScaleFactors) TechNode {
+	out := t
+	out.Name = name
+	out.MACEnergy = t.MACEnergy * units.Energy(f.Power)
+	out.VectorOpEnergy = t.VectorOpEnergy * units.Energy(f.Power)
+	out.SRAMBase = t.SRAMBase * units.Energy(f.Power)
+	out.SRAMSlope = t.SRAMSlope * units.Energy(f.Power)
+	out.LeakagePerMM2 = t.LeakagePerMM2 * units.Power(f.Power/f.Area)
+	out.PEArea = t.PEArea * units.Area(f.Area)
+	out.SRAMAreaPerByte = t.SRAMAreaPerByte * units.Area(f.Area)
+	return out
+}
+
+// Node14nm is the projected 14 nm node.
+var Node14nm = Node45nm.Scaled("14nm", Scale45To14)
+
+// Scale45To7 projects to a 7 nm-class node (the paper's Section 4 calls
+// for projecting the design to more recent technology nodes).
+var Scale45To7 = ScaleFactors{Power: 0.11, Area: 0.042}
+
+// Node7nm is the projected 7 nm node.
+var Node7nm = Node45nm.Scaled("7nm", Scale45To7)
+
+// Nodes lists the modeled process nodes, oldest first.
+func Nodes() []TechNode { return []TechNode{Node45nm, Node14nm, Node7nm} }
+
+// SRAMAccessEnergy returns the per-byte access energy of a buffer with the
+// given capacity (CACTI-style sqrt growth with capacity).
+func (t TechNode) SRAMAccessEnergy(capacity units.Bytes) units.Energy {
+	mb := float64(capacity) / float64(units.MB)
+	if mb < 0 {
+		mb = 0
+	}
+	return t.SRAMBase + t.SRAMSlope*units.Energy(math.Sqrt(mb))
+}
+
+// DRAMKind identifies the accelerator-attached memory technology.
+type DRAMKind int
+
+// Memory technologies explored in the paper's search space.
+const (
+	DDR4 DRAMKind = iota
+	DDR5
+	HBM2
+)
+
+// String names the memory kind.
+func (d DRAMKind) String() string {
+	switch d {
+	case DDR4:
+		return "DDR4"
+	case DDR5:
+		return "DDR5"
+	case HBM2:
+		return "HBM2"
+	}
+	return "unknown"
+}
+
+// Bandwidth returns the memory bandwidth used in the search space.
+func (d DRAMKind) Bandwidth() units.Bandwidth {
+	switch d {
+	case DDR4:
+		return 19.2 * units.GBps
+	case DDR5:
+		return 38 * units.GBps
+	case HBM2:
+		return 460 * units.GBps
+	}
+	return 0
+}
+
+// AccessEnergyPerByte returns the interface + array energy per byte moved.
+func (d DRAMKind) AccessEnergyPerByte() units.Energy {
+	switch d {
+	case DDR4:
+		return 120 * units.PicoJoule
+	case DDR5:
+		return 100 * units.PicoJoule
+	case HBM2:
+		return 32 * units.PicoJoule
+	}
+	return 0
+}
+
+// IdlePower returns the standing power of the memory device/PHY.
+func (d DRAMKind) IdlePower() units.Power {
+	switch d {
+	case DDR4:
+		return 0.35
+	case DDR5:
+		return 0.40
+	case HBM2:
+		return 1.6
+	}
+	return 0
+}
+
+// PCIeEnergyPerByte is the link energy per byte (per-bit figures from
+// multi-chip SoC literature: ~5 pJ/bit).
+const PCIeEnergyPerByte units.Energy = 40 * units.PicoJoule
+
+// Activity summarizes the dynamic work of a DSA execution; the DSA simulator
+// produces it and Estimate turns it into energy and average power.
+type Activity struct {
+	MACs        int64
+	VectorOps   int64
+	SRAMBytes   units.Bytes
+	DRAMBytes   units.Bytes
+	BufferBytes units.Bytes // total on-chip buffer capacity, for access cost
+	Runtime     time.Duration
+	DRAM        DRAMKind
+	Area        units.Area
+}
+
+// Estimate returns the energy and average power of the activity on node t.
+func Estimate(t TechNode, a Activity) (units.Energy, units.Power) {
+	e := units.Energy(float64(a.MACs)) * t.MACEnergy
+	e += units.Energy(float64(a.VectorOps)) * t.VectorOpEnergy
+	e += units.Energy(float64(a.SRAMBytes)) * t.SRAMAccessEnergy(a.BufferBytes)
+	e += units.Energy(float64(a.DRAMBytes)) * a.DRAM.AccessEnergyPerByte()
+	leak := t.LeakagePerMM2 * units.Power(float64(a.Area))
+	e += (leak + a.DRAM.IdlePower()).Times(a.Runtime)
+	return e, e.Over(a.Runtime)
+}
+
+// DieArea returns the DSA die area on node t for a PE array and buffers.
+func DieArea(t TechNode, pes int, bufferBytes units.Bytes) units.Area {
+	core := t.PEArea*units.Area(float64(pes)) +
+		t.SRAMAreaPerByte*units.Area(float64(bufferBytes))
+	return core * units.Area(t.MiscAreaFactor)
+}
+
+// PeakPower returns the worst-case dynamic + static power of a DSA config:
+// every PE issuing a MAC per cycle plus buffer traffic to feed the array,
+// the figure checked against the drive's PCIe budget.
+func PeakPower(t TechNode, pes int, bufferBytes units.Bytes, freq units.Frequency, dram DRAMKind) units.Power {
+	macPower := units.Power(float64(pes) * float64(freq) * float64(t.MACEnergy))
+	// The array consumes roughly sqrt(pes) operand bytes per cycle per edge.
+	feedBytesPerSec := 2 * math.Sqrt(float64(pes)) * float64(freq)
+	sramPower := units.Power(feedBytesPerSec * float64(t.SRAMAccessEnergy(bufferBytes)))
+	dramPower := units.Power(float64(dram.Bandwidth()) * float64(dram.AccessEnergyPerByte()))
+	leak := t.LeakagePerMM2 * units.Power(float64(DieArea(t, pes, bufferBytes)))
+	return macPower + sramPower + dramPower + leak + dram.IdlePower()
+}

@@ -1,0 +1,153 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/units"
+)
+
+func TestScaling45To14(t *testing.T) {
+	n14 := Node45nm.Scaled("14nm", Scale45To14)
+	if n14.MACEnergy >= Node45nm.MACEnergy {
+		t.Error("14nm MAC energy must shrink")
+	}
+	ratio := float64(n14.MACEnergy) / float64(Node45nm.MACEnergy)
+	if ratio < 0.19 || ratio > 0.23 {
+		t.Errorf("power scale = %.3f, want ~0.21", ratio)
+	}
+	aRatio := float64(n14.PEArea) / float64(Node45nm.PEArea)
+	if aRatio < 0.10 || aRatio > 0.12 {
+		t.Errorf("area scale = %.3f, want ~0.11", aRatio)
+	}
+}
+
+func TestSRAMEnergyGrowsWithCapacity(t *testing.T) {
+	small := Node45nm.SRAMAccessEnergy(128 * units.KiB)
+	big := Node45nm.SRAMAccessEnergy(32 * units.MiB)
+	if big <= small {
+		t.Errorf("SRAM energy must grow with capacity: %v vs %v", small, big)
+	}
+	if small <= 0 {
+		t.Error("SRAM energy must be positive")
+	}
+}
+
+func TestDRAMKinds(t *testing.T) {
+	// The paper's search space bandwidths.
+	if DDR4.Bandwidth() != 19.2*units.GBps {
+		t.Errorf("DDR4 bw = %v", DDR4.Bandwidth())
+	}
+	if DDR5.Bandwidth() != 38*units.GBps {
+		t.Errorf("DDR5 bw = %v", DDR5.Bandwidth())
+	}
+	if HBM2.Bandwidth() != 460*units.GBps {
+		t.Errorf("HBM2 bw = %v", HBM2.Bandwidth())
+	}
+	// HBM is the most efficient per byte, DDR4 the least.
+	if !(HBM2.AccessEnergyPerByte() < DDR5.AccessEnergyPerByte() &&
+		DDR5.AccessEnergyPerByte() < DDR4.AccessEnergyPerByte()) {
+		t.Error("DRAM energy ordering violated")
+	}
+	for _, d := range []DRAMKind{DDR4, DDR5, HBM2} {
+		if d.String() == "unknown" || d.IdlePower() <= 0 {
+			t.Errorf("%v incomplete", d)
+		}
+	}
+}
+
+func TestDieArea(t *testing.T) {
+	// 128x128 PEs + 4 MiB at 45 nm: on the order of 200-300 mm2.
+	a := DieArea(Node45nm, 128*128, 4*units.MiB)
+	if a < 150 || a > 400 {
+		t.Errorf("45nm Dim128-4MB area = %v, want 150-400mm2", a)
+	}
+	// Same design at 14 nm shrinks by ~9x.
+	a14 := DieArea(Node14nm, 128*128, 4*units.MiB)
+	if ratio := float64(a14) / float64(a); ratio < 0.09 || ratio > 0.13 {
+		t.Errorf("area shrink = %.3f, want ~0.11", ratio)
+	}
+	// 1024x1024 at 45 nm is enormous (the paper's Figure 8 tops at ~8000mm2).
+	big := DieArea(Node45nm, 1024*1024, 32*units.MiB)
+	if big < 5000 || big > 12000 {
+		t.Errorf("45nm Dim1024-32MB area = %v, want 5000-12000mm2", big)
+	}
+}
+
+func TestPeakPowerPaperBudget(t *testing.T) {
+	// The selected design (128x128, 4 MiB, DDR5) must fit within the
+	// SmartSSD-class power budget at 14 nm: the paper quotes 4.2 W for the
+	// DSA against the drive's 25 W TDP.
+	p := PeakPower(Node14nm, 128*128, 4*units.MiB, units.GHz, DDR5)
+	if p < 3 || p > 9 {
+		t.Errorf("14nm Dim128 peak power = %v, want 3-9W", p)
+	}
+	if p >= 25 {
+		t.Errorf("DSA alone exceeds the 25W drive budget: %v", p)
+	}
+	// The same design at 45 nm consumes nearly the whole 25 W drive budget
+	// (logic scales with the node; the DRAM interface does not).
+	p45 := PeakPower(Node45nm, 128*128, 4*units.MiB, units.GHz, DDR5)
+	if p45 <= 2*p || p45 < 18 {
+		t.Errorf("45nm power %v should far exceed 14nm %v", p45, p)
+	}
+}
+
+func TestPeakPowerMonotonicInPEs(t *testing.T) {
+	prev := units.Power(0)
+	for _, dim := range []int{4, 16, 64, 128, 512, 1024} {
+		p := PeakPower(Node45nm, dim*dim, 4*units.MiB, units.GHz, DDR4)
+		if p <= prev {
+			t.Errorf("peak power not increasing at dim %d: %v <= %v", dim, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEstimateComposition(t *testing.T) {
+	a := Activity{
+		MACs:        1e9,
+		VectorOps:   1e7,
+		SRAMBytes:   units.Bytes(1e9),
+		DRAMBytes:   units.Bytes(1e8),
+		BufferBytes: 4 * units.MiB,
+		Runtime:     time.Millisecond,
+		DRAM:        DDR5,
+		Area:        30,
+	}
+	e, p := Estimate(Node14nm, a)
+	if e <= 0 || p <= 0 {
+		t.Fatalf("degenerate estimate e=%v p=%v", e, p)
+	}
+	// Doubling the MACs increases energy.
+	a2 := a
+	a2.MACs *= 2
+	e2, _ := Estimate(Node14nm, a2)
+	if e2 <= e {
+		t.Error("more MACs must cost more energy")
+	}
+	// Energy and power are consistent.
+	if got := e.Over(a.Runtime); got != p {
+		t.Errorf("power inconsistency: %v vs %v", got, p)
+	}
+	// Longer runtime at fixed work adds leakage energy.
+	a3 := a
+	a3.Runtime = 10 * time.Millisecond
+	e3, p3 := Estimate(Node14nm, a3)
+	if e3 <= e {
+		t.Error("leakage must grow with runtime")
+	}
+	if p3 >= p {
+		t.Error("average power must drop when the same work stretches out")
+	}
+}
+
+func TestPCIeEnergy(t *testing.T) {
+	if PCIeEnergyPerByte <= 0 {
+		t.Fatal("PCIe energy must be positive")
+	}
+	// ~5 pJ/bit => 40 pJ/B.
+	if PCIeEnergyPerByte != 40*units.PicoJoule {
+		t.Errorf("PCIe energy = %v", PCIeEnergyPerByte)
+	}
+}

@@ -1,0 +1,81 @@
+// Package rpc models the software cost of a storage RPC: protobuf-style
+// serialization, kernel crossings, and gateway processing. The paper's
+// motivation leans on exactly these costs (it cites the protobuf
+// hardware-acceleration work); the DSCS path replaces them with a single
+// driver syscall.
+package rpc
+
+import (
+	"fmt"
+	"time"
+
+	"dscs/internal/units"
+)
+
+// Codec models a serialization format's throughput.
+type Codec struct {
+	Name string
+	// SerializeBW and DeserializeBW are the encode/decode throughputs.
+	SerializeBW   units.Bandwidth
+	DeserializeBW units.Bandwidth
+	// PerMessage is the fixed envelope cost (descriptor walk, allocs).
+	PerMessage time.Duration
+}
+
+// Protobuf returns a protobuf-class codec (single-digit GB/s, noticeable
+// per-message fixed cost).
+func Protobuf() Codec {
+	return Codec{
+		Name:          "protobuf",
+		SerializeBW:   1.2 * units.GBps,
+		DeserializeBW: 0.9 * units.GBps,
+		PerMessage:    25 * time.Microsecond,
+	}
+}
+
+// Validate rejects incomplete codecs.
+func (c Codec) Validate() error {
+	if c.SerializeBW <= 0 || c.DeserializeBW <= 0 {
+		return fmt.Errorf("rpc: non-positive codec throughput")
+	}
+	if c.PerMessage < 0 {
+		return fmt.Errorf("rpc: negative per-message cost")
+	}
+	return nil
+}
+
+// Serialize returns the encode time for a payload.
+func (c Codec) Serialize(n units.Bytes) time.Duration {
+	return c.PerMessage + c.SerializeBW.TransferTime(n)
+}
+
+// Deserialize returns the decode time for a payload.
+func (c Codec) Deserialize(n units.Bytes) time.Duration {
+	return c.PerMessage + c.DeserializeBW.TransferTime(n)
+}
+
+// Stack models the OS/system costs on the request path.
+type Stack struct {
+	Syscall time.Duration // one kernel crossing
+	Gateway time.Duration // storage front-end processing per request
+}
+
+// DefaultStack returns datacenter-typical costs.
+func DefaultStack() Stack {
+	return Stack{
+		Syscall: 1500 * time.Nanosecond,
+		Gateway: 150 * time.Microsecond,
+	}
+}
+
+// RequestPath composes the client- and server-side software cost of one
+// storage RPC carrying a payload in one direction: client serialize +
+// syscalls, server deserialize + read/write syscall + gateway, and the
+// payload deserialize on the receiving side.
+func RequestPath(c Codec, s Stack, payload units.Bytes) time.Duration {
+	const syscalls = 4        // client send/recv + server recv/IO
+	return c.Serialize(256) + // request envelope
+		time.Duration(syscalls)*s.Syscall +
+		s.Gateway +
+		c.Deserialize(payload)
+}

@@ -1,0 +1,71 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/units"
+)
+
+func TestProtobufValidates(t *testing.T) {
+	if err := Protobuf().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Protobuf()
+	bad.SerializeBW = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero throughput must fail")
+	}
+	bad2 := Protobuf()
+	bad2.PerMessage = -time.Second
+	if err := bad2.Validate(); err == nil {
+		t.Error("negative per-message must fail")
+	}
+}
+
+func TestSerializeScalesWithPayload(t *testing.T) {
+	c := Protobuf()
+	small := c.Serialize(units.KB)
+	big := c.Serialize(10 * units.MB)
+	if big <= small {
+		t.Errorf("10MB serialize (%v) should exceed 1KB (%v)", big, small)
+	}
+	// 10 MB at 1.2 GB/s ~ 8.3 ms plus the envelope.
+	if big < 8*time.Millisecond || big > 10*time.Millisecond {
+		t.Errorf("10MB serialize = %v, want ~8.4ms", big)
+	}
+	// Deserialization is slower per byte than serialization.
+	if c.Deserialize(10*units.MB) <= big {
+		t.Error("protobuf decode should cost more than encode")
+	}
+}
+
+func TestRequestPathComposition(t *testing.T) {
+	c := Protobuf()
+	s := DefaultStack()
+	lat := RequestPath(c, s, 602*units.KB)
+	// Envelope + 4 syscalls + gateway + payload decode: ~1ms scale.
+	if lat < 500*time.Microsecond || lat > 3*time.Millisecond {
+		t.Errorf("request path = %v, want 0.5-3ms", lat)
+	}
+	// A tiny payload still pays the fixed costs.
+	tiny := RequestPath(c, s, 64)
+	floor := 4*s.Syscall + s.Gateway
+	if tiny < floor {
+		t.Errorf("tiny request %v below fixed floor %v", tiny, floor)
+	}
+	// Payload dependence.
+	if RequestPath(c, s, 16*units.MB) <= lat {
+		t.Error("bigger payloads must cost more on the RPC path")
+	}
+}
+
+func TestStackCosts(t *testing.T) {
+	s := DefaultStack()
+	if s.Syscall <= 0 || s.Gateway <= 0 {
+		t.Fatal("stack costs must be positive")
+	}
+	if s.Syscall > 10*time.Microsecond {
+		t.Error("a syscall should be microseconds")
+	}
+}

@@ -1,0 +1,271 @@
+// hybrid.go implements the paper's "future directions for optimized
+// scheduling" (Section 5.3) over a heterogeneous pool of CPU and
+// DSCS-capable instances:
+//
+//   - FCFS: the paper's deployed policy, class-blind.
+//   - Criticality-aware: long-running functions go to DSCS instances, where
+//     acceleration buys the most; short functions stay on CPUs.
+//   - DAG-aware: applications with more acceleratable functions in their
+//     chain get DSCS priority.
+//
+// The at-scale simulation (internal/cluster) replays traces against each
+// policy; the paper hypothesizes and our reproduction confirms that both
+// refinements beat plain FCFS when DSCS capacity is scarce.
+package sched
+
+import (
+	"fmt"
+	"time"
+)
+
+// InstanceClass is a pool partition.
+type InstanceClass int
+
+// Instance classes.
+const (
+	ClassCPU InstanceClass = iota
+	ClassDSCS
+)
+
+// String names the class.
+func (c InstanceClass) String() string {
+	if c == ClassDSCS {
+		return "dscs"
+	}
+	return "cpu"
+}
+
+// HybridTask is one request with its class-specific expectations.
+type HybridTask struct {
+	ID      int
+	Arrived time.Duration
+	Payload string
+
+	// CPUService and DSCSService are the expected service times per class.
+	CPUService, DSCSService time.Duration
+	// AccelFuncs counts acceleratable functions in the application's DAG.
+	AccelFuncs int
+}
+
+// Policy selects which queued task a freed instance should run.
+type Policy interface {
+	Name() string
+	// Pick removes and returns the task the given instance class should
+	// run next; ok is false when the queue has nothing for it.
+	Pick(q *HybridQueue, class InstanceClass) (HybridTask, bool)
+}
+
+// HybridQueue is the bounded shared queue.
+type HybridQueue struct {
+	tasks   []HybridTask
+	depth   int
+	dropped int
+}
+
+// NewHybridQueue bounds the queue.
+func NewHybridQueue(depth int) (*HybridQueue, error) {
+	if depth <= 0 {
+		return nil, fmt.Errorf("sched: non-positive queue depth")
+	}
+	return &HybridQueue{depth: depth}, nil
+}
+
+// Submit enqueues; it reports false (drop) at the bound.
+func (q *HybridQueue) Submit(t HybridTask) bool {
+	if len(q.tasks) >= q.depth {
+		q.dropped++
+		return false
+	}
+	q.tasks = append(q.tasks, t)
+	return true
+}
+
+// Len is the queue occupancy.
+func (q *HybridQueue) Len() int { return len(q.tasks) }
+
+// Dropped counts rejected tasks.
+func (q *HybridQueue) Dropped() int { return q.dropped }
+
+// removeAt extracts index i preserving arrival order of the rest.
+func (q *HybridQueue) removeAt(i int) HybridTask {
+	t := q.tasks[i]
+	q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+	return t
+}
+
+// FCFSPolicy is the deployed policy: head of line, any class.
+type FCFSPolicy struct{}
+
+// Name implements Policy.
+func (FCFSPolicy) Name() string { return "fcfs" }
+
+// Pick implements Policy.
+func (FCFSPolicy) Pick(q *HybridQueue, _ InstanceClass) (HybridTask, bool) {
+	if q.Len() == 0 {
+		return HybridTask{}, false
+	}
+	return q.removeAt(0), true
+}
+
+// CriticalityPolicy sends the longest-running work (by CPU-time
+// expectation) to DSCS instances and the shortest to CPUs.
+type CriticalityPolicy struct{}
+
+// Name implements Policy.
+func (CriticalityPolicy) Name() string { return "criticality" }
+
+// Pick implements Policy.
+func (CriticalityPolicy) Pick(q *HybridQueue, class InstanceClass) (HybridTask, bool) {
+	if q.Len() == 0 {
+		return HybridTask{}, false
+	}
+	best := 0
+	for i := 1; i < q.Len(); i++ {
+		if class == ClassDSCS {
+			if q.tasks[i].CPUService > q.tasks[best].CPUService {
+				best = i
+			}
+		} else {
+			if q.tasks[i].CPUService < q.tasks[best].CPUService {
+				best = i
+			}
+		}
+	}
+	return q.removeAt(best), true
+}
+
+// DAGAwarePolicy prioritizes applications with many acceleratable
+// functions for DSCS instances (they amortize the in-storage chain best).
+type DAGAwarePolicy struct{}
+
+// Name implements Policy.
+func (DAGAwarePolicy) Name() string { return "dag-aware" }
+
+// Pick implements Policy.
+func (DAGAwarePolicy) Pick(q *HybridQueue, class InstanceClass) (HybridTask, bool) {
+	if q.Len() == 0 {
+		return HybridTask{}, false
+	}
+	best := 0
+	for i := 1; i < q.Len(); i++ {
+		ti, tb := q.tasks[i], q.tasks[best]
+		if class == ClassDSCS {
+			if ti.AccelFuncs > tb.AccelFuncs ||
+				(ti.AccelFuncs == tb.AccelFuncs && ti.CPUService > tb.CPUService) {
+				best = i
+			}
+		} else {
+			if ti.AccelFuncs < tb.AccelFuncs ||
+				(ti.AccelFuncs == tb.AccelFuncs && ti.CPUService < tb.CPUService) {
+				best = i
+			}
+		}
+	}
+	return q.removeAt(best), true
+}
+
+// HybridScheduler manages the two instance pools over one queue.
+type HybridScheduler struct {
+	queue  *HybridQueue
+	policy Policy
+	tel    *Telemetry
+
+	freeCPU, freeDSCS   int
+	totalCPU, totalDSCS int
+	completed           int
+	submitted           int
+}
+
+// NewHybrid builds a scheduler over the two pools.
+func NewHybrid(cpuInstances, dscsInstances, queueDepth int, policy Policy, tel *Telemetry) (*HybridScheduler, error) {
+	if cpuInstances < 0 || dscsInstances < 0 || cpuInstances+dscsInstances == 0 {
+		return nil, fmt.Errorf("sched: empty hybrid pool")
+	}
+	if policy == nil {
+		policy = FCFSPolicy{}
+	}
+	q, err := NewHybridQueue(queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	if tel == nil {
+		tel = NewTelemetry()
+	}
+	return &HybridScheduler{
+		queue: q, policy: policy, tel: tel,
+		freeCPU: cpuInstances, freeDSCS: dscsInstances,
+		totalCPU: cpuInstances, totalDSCS: dscsInstances,
+	}, nil
+}
+
+// Submit enqueues a task.
+func (s *HybridScheduler) Submit(t HybridTask) bool {
+	ok := s.queue.Submit(t)
+	if ok {
+		s.submitted++
+		s.tel.Inc("sched_submitted_total", 1)
+	} else {
+		s.tel.Inc("sched_dropped_total", 1)
+	}
+	s.tel.Set("sched_queue_depth", float64(s.queue.Len()))
+	return ok
+}
+
+// Dispatch assigns work to a free instance, preferring DSCS capacity (it
+// serves faster). It returns the task, the class it runs on, and whether
+// anything was dispatched.
+func (s *HybridScheduler) Dispatch() (HybridTask, InstanceClass, bool) {
+	if s.freeDSCS > 0 {
+		if t, ok := s.policy.Pick(s.queue, ClassDSCS); ok {
+			s.freeDSCS--
+			s.tel.Set("sched_queue_depth", float64(s.queue.Len()))
+			return t, ClassDSCS, true
+		}
+	}
+	if s.freeCPU > 0 {
+		if t, ok := s.policy.Pick(s.queue, ClassCPU); ok {
+			s.freeCPU--
+			s.tel.Set("sched_queue_depth", float64(s.queue.Len()))
+			return t, ClassCPU, true
+		}
+	}
+	return HybridTask{}, ClassCPU, false
+}
+
+// Complete releases an instance of the given class.
+func (s *HybridScheduler) Complete(class InstanceClass) {
+	switch class {
+	case ClassDSCS:
+		if s.freeDSCS < s.totalDSCS {
+			s.freeDSCS++
+		}
+	default:
+		if s.freeCPU < s.totalCPU {
+			s.freeCPU++
+		}
+	}
+	s.completed++
+	s.tel.Inc("sched_completed_total", 1)
+}
+
+// QueueLen reports queue occupancy.
+func (s *HybridScheduler) QueueLen() int { return s.queue.Len() }
+
+// Dropped counts rejections.
+func (s *HybridScheduler) Dropped() int { return s.queue.Dropped() }
+
+// Busy reports occupied instances per class.
+func (s *HybridScheduler) Busy() (cpu, dscs int) {
+	return s.totalCPU - s.freeCPU, s.totalDSCS - s.freeDSCS
+}
+
+// Conservation checks the bookkeeping invariant.
+func (s *HybridScheduler) Conservation() error {
+	busyCPU, busyDSCS := s.Busy()
+	accounted := s.queue.Len() + busyCPU + busyDSCS + s.completed
+	if s.submitted != accounted {
+		return fmt.Errorf("sched: hybrid conservation violated: %d submitted != %d accounted",
+			s.submitted, accounted)
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func task(id int, cpuMS int, accel int) HybridTask {
+	return HybridTask{
+		ID: id, Payload: "t",
+		CPUService:  time.Duration(cpuMS) * time.Millisecond,
+		DSCSService: time.Duration(cpuMS) * time.Millisecond / 4,
+		AccelFuncs:  accel,
+	}
+}
+
+func TestHybridFCFSOrder(t *testing.T) {
+	s, err := NewHybrid(1, 1, 10, FCFSPolicy{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		s.Submit(task(i, 100, 2))
+	}
+	// DSCS is preferred and FCFS hands it the head of line.
+	got, class, ok := s.Dispatch()
+	if !ok || got.ID != 0 || class != ClassDSCS {
+		t.Fatalf("first dispatch: id=%d class=%v ok=%v", got.ID, class, ok)
+	}
+	got, class, _ = s.Dispatch()
+	if got.ID != 1 || class != ClassCPU {
+		t.Fatalf("second dispatch: id=%d class=%v", got.ID, class)
+	}
+	if _, _, ok := s.Dispatch(); ok {
+		t.Fatal("no free instances left")
+	}
+	if err := s.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCriticalityRouting(t *testing.T) {
+	s, _ := NewHybrid(1, 1, 10, CriticalityPolicy{}, nil)
+	s.Submit(task(0, 10, 2))  // short
+	s.Submit(task(1, 500, 2)) // long
+	s.Submit(task(2, 50, 2))  // medium
+	// DSCS takes the longest-running task...
+	got, class, _ := s.Dispatch()
+	if got.ID != 1 || class != ClassDSCS {
+		t.Fatalf("DSCS got id=%d", got.ID)
+	}
+	// ...the CPU the shortest.
+	got, class, _ = s.Dispatch()
+	if got.ID != 0 || class != ClassCPU {
+		t.Fatalf("CPU got id=%d class=%v", got.ID, class)
+	}
+}
+
+func TestDAGAwareRouting(t *testing.T) {
+	s, _ := NewHybrid(1, 1, 10, DAGAwarePolicy{}, nil)
+	s.Submit(task(0, 100, 1))
+	s.Submit(task(1, 100, 4)) // deep accelerated chain
+	s.Submit(task(2, 100, 2))
+	got, class, _ := s.Dispatch()
+	if got.ID != 1 || class != ClassDSCS {
+		t.Fatalf("DSCS should take the deepest chain, got id=%d", got.ID)
+	}
+	got, _, _ = s.Dispatch()
+	if got.ID != 0 {
+		t.Fatalf("CPU should take the shallowest chain, got id=%d", got.ID)
+	}
+}
+
+func TestHybridQueueBound(t *testing.T) {
+	s, _ := NewHybrid(1, 0, 2, FCFSPolicy{}, nil)
+	for i := 0; i < 2; i++ {
+		if !s.Submit(task(i, 10, 1)) {
+			t.Fatalf("submit %d should fit", i)
+		}
+	}
+	if s.Submit(task(9, 10, 1)) {
+		t.Fatal("queue bound ignored")
+	}
+	if s.Dropped() != 1 {
+		t.Fatalf("dropped = %d", s.Dropped())
+	}
+}
+
+func TestHybridCompleteReleases(t *testing.T) {
+	s, _ := NewHybrid(2, 1, 10, FCFSPolicy{}, nil)
+	for i := 0; i < 5; i++ {
+		s.Submit(task(i, 10, 1))
+	}
+	classes := map[InstanceClass]int{}
+	for {
+		_, class, ok := s.Dispatch()
+		if !ok {
+			break
+		}
+		classes[class]++
+	}
+	if classes[ClassDSCS] != 1 || classes[ClassCPU] != 2 {
+		t.Fatalf("dispatch mix: %v", classes)
+	}
+	s.Complete(ClassDSCS)
+	if _, class, ok := s.Dispatch(); !ok || class != ClassDSCS {
+		t.Fatal("freed DSCS instance should dispatch next")
+	}
+	if err := s.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridValidation(t *testing.T) {
+	if _, err := NewHybrid(0, 0, 10, nil, nil); err == nil {
+		t.Error("empty pool must fail")
+	}
+	if _, err := NewHybrid(1, 1, 0, nil, nil); err == nil {
+		t.Error("zero queue depth must fail")
+	}
+	if _, err := NewHybridQueue(0); err == nil {
+		t.Error("zero queue must fail")
+	}
+}
+
+func TestHybridConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		s, _ := NewHybrid(2, 2, 6, CriticalityPolicy{}, nil)
+		id := 0
+		inFlight := map[InstanceClass]int{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				s.Submit(task(id, int(op)+1, int(op)%4))
+				id++
+			case 1:
+				if _, class, ok := s.Dispatch(); ok {
+					inFlight[class]++
+				}
+			case 2:
+				for _, class := range []InstanceClass{ClassCPU, ClassDSCS} {
+					if inFlight[class] > 0 {
+						s.Complete(class)
+						inFlight[class]--
+						break
+					}
+				}
+			}
+			if err := s.Conservation(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, p := range []Policy{FCFSPolicy{}, CriticalityPolicy{}, DAGAwarePolicy{}} {
+		if p.Name() == "" || names[p.Name()] {
+			t.Errorf("bad policy name %q", p.Name())
+		}
+		names[p.Name()] = true
+	}
+	if ClassCPU.String() == ClassDSCS.String() {
+		t.Error("classes must render differently")
+	}
+}

@@ -1,0 +1,113 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// system-level experiment: a virtual clock, an event queue, and deterministic
+// random distributions.
+//
+// The engine processes events in timestamp order; events scheduled for the
+// same instant run in FIFO order of scheduling, which keeps runs fully
+// deterministic for a fixed seed.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual instant.
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) clamps to the current instant so causality is preserved.
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.At(e.now+d, fn)
+}
+
+// Stop halts the run loop after the current event returns.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until the queue drains or Stop is called.
+// It returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps <= deadline. Events beyond the
+// deadline stay queued; the clock is left at the deadline (or the final event
+// time if the queue drained earlier).
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports how many events remain queued.
+func (e *Engine) Pending() int { return len(e.queue) }

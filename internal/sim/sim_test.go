@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(30*time.Millisecond, func() { order = append(order, 3) })
+	e.After(10*time.Millisecond, func() { order = append(order, 1) })
+	e.After(20*time.Millisecond, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 30*time.Millisecond {
+		t.Fatalf("final time = %v, want 30ms", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events ran out of order: %v", order)
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	var tick func()
+	tick = func() {
+		ticks = append(ticks, e.Now())
+		if len(ticks) < 5 {
+			e.After(time.Second, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks, want 5", len(ticks))
+	}
+	for i, at := range ticks {
+		if at != time.Duration(i)*time.Second {
+			t.Fatalf("tick %d at %v", i, at)
+		}
+	}
+}
+
+func TestEnginePastSchedulingClamps(t *testing.T) {
+	e := NewEngine()
+	var ranAt time.Duration
+	e.After(time.Second, func() {
+		e.At(0, func() { ranAt = e.Now() }) // in the past; must clamp
+	})
+	e.Run()
+	if ranAt != time.Second {
+		t.Fatalf("past event ran at %v, want clamp to 1s", ranAt)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i)*time.Second, func() { ran++ })
+	}
+	e.RunUntil(5 * time.Second)
+	if ran != 5 {
+		t.Fatalf("ran %d events, want 5", ran)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("clock at %v, want 5s", e.Now())
+	}
+	if e.Pending() != 5 {
+		t.Fatalf("pending = %d, want 5", e.Pending())
+	}
+	e.Run()
+	if ran != 10 {
+		t.Fatalf("after full run, ran = %d, want 10", ran)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i), func() {
+			ran++
+			if ran == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if ran != 3 {
+		t.Fatalf("ran %d events after Stop, want 3", ran)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical streams")
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if n := r.Intn(17); n < 0 || n >= 17 {
+			t.Fatalf("Intn out of range: %d", n)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(1)
+	mean := 100 * time.Millisecond
+	var sum time.Duration
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := float64(sum) / n
+	if math.Abs(got-float64(mean))/float64(mean) > 0.05 {
+		t.Fatalf("exp mean = %v, want ~%v", time.Duration(got), mean)
+	}
+}
+
+func TestLogNormalMedianAndTail(t *testing.T) {
+	r := NewRNG(2)
+	d := LogNormal{Median: 50 * time.Millisecond, Sigma: 0.32}
+	vals := make([]time.Duration, 20000)
+	for i := range vals {
+		vals[i] = d.Sample(r)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	median := vals[len(vals)/2]
+	p99 := vals[len(vals)*99/100]
+	if math.Abs(float64(median)-float64(d.Median))/float64(d.Median) > 0.05 {
+		t.Fatalf("median = %v, want ~%v", median, d.Median)
+	}
+	// sigma 0.32 puts p99 at ~2.1x the median (the paper's 110% gap).
+	ratio := float64(p99) / float64(median)
+	if ratio < 1.9 || ratio > 2.3 {
+		t.Fatalf("p99/median = %.2f, want ~2.1", ratio)
+	}
+}
+
+func TestLogNormalQuantile(t *testing.T) {
+	d := LogNormal{Median: 50 * time.Millisecond, Sigma: 0.32}
+	if q := d.Quantile(0.5); q != 50*time.Millisecond {
+		t.Fatalf("median quantile = %v", q)
+	}
+	q99 := d.Quantile(0.99)
+	ratio := float64(q99) / float64(d.Median)
+	if ratio < 2.0 || ratio > 2.2 {
+		t.Fatalf("analytic p99/median = %.3f, want ~2.1", ratio)
+	}
+	if d.Quantile(0.25) >= d.Quantile(0.75) {
+		t.Fatal("quantile not monotonic")
+	}
+}
+
+func TestNormQuantileInverse(t *testing.T) {
+	// NormQuantile should invert the normal CDF at standard points.
+	cases := map[float64]float64{
+		0.5:    0,
+		0.8413: 1.0,
+		0.9772: 2.0,
+		0.99:   2.326,
+	}
+	for p, want := range cases {
+		if got := NormQuantile(p); math.Abs(got-want) > 0.01 {
+			t.Errorf("NormQuantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := NewRNG(99)
+	s1 := r.Split()
+	s2 := r.Split()
+	equal := 0
+	for i := 0; i < 100; i++ {
+		if s1.Uint64() == s2.Uint64() {
+			equal++
+		}
+	}
+	if equal > 0 {
+		t.Fatalf("split streams collided %d times", equal)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	d := LogNormal{Median: 30 * time.Millisecond, Sigma: 0.4}
+	f := func(a, b uint8) bool {
+		p1 := float64(a%100)/100 + 0.001
+		p2 := float64(b%100)/100 + 0.001
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return d.Quantile(p1) <= d.Quantile(p2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"dscs/internal/units"
+)
+
+func newDrive(t *testing.T) *Drive {
+	t.Helper()
+	d, err := New(SmartSSDClass())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := SmartSSDClass().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := SmartSSDClass()
+	bad.NVMeSubmission = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero submission cost should fail")
+	}
+	bad2 := SmartSSDClass()
+	bad2.IdlePower = 20
+	if err := bad2.Validate(); err == nil {
+		t.Error("idle above active should fail")
+	}
+	bad3 := SmartSSDClass()
+	bad3.HostLink.Lanes = 3
+	if err := bad3.Validate(); err == nil {
+		t.Error("invalid link should fail")
+	}
+}
+
+func TestHostReadLatencyComposition(t *testing.T) {
+	d := newDrive(t)
+	d.HostWrite(0, 4*units.MiB)
+	lat, energy := d.HostRead(0, 4*units.MiB)
+	if energy <= 0 {
+		t.Fatal("read energy must be positive")
+	}
+	// Must exceed the bare PCIe transfer (flash + ECC + staging add up)...
+	pcieOnly := d.Config().HostLink.TransferTime(4 * units.MiB)
+	if lat <= pcieOnly {
+		t.Errorf("host read %v should exceed PCIe-only %v", lat, pcieOnly)
+	}
+	// ...but stay within single-digit milliseconds for 4 MiB.
+	if lat > 10*time.Millisecond {
+		t.Errorf("host read of 4MiB = %v, implausibly slow", lat)
+	}
+}
+
+func TestWriteSlowerThanRead(t *testing.T) {
+	d := newDrive(t)
+	wLat, _ := d.HostWrite(0, 2*units.MiB)
+	rLat, _ := d.HostRead(0, 2*units.MiB)
+	if wLat <= rLat {
+		t.Errorf("program %v should exceed read %v", wLat, rLat)
+	}
+}
+
+func TestInternalBypassesHostLink(t *testing.T) {
+	d := newDrive(t)
+	d.HostWrite(0, 8*units.MiB)
+	hostLat, _ := d.HostRead(0, 8*units.MiB)
+	internalLat, _ := d.InternalRead(0, 8*units.MiB)
+	if internalLat >= hostLat {
+		t.Errorf("internal read %v should beat host read %v", internalLat, hostLat)
+	}
+	// The saving should be at least the NVMe submission cost.
+	if hostLat-internalLat < d.Config().NVMeSubmission {
+		t.Errorf("internal path saves too little: %v", hostLat-internalLat)
+	}
+}
+
+func TestInternalWrite(t *testing.T) {
+	d := newDrive(t)
+	lat, energy := d.InternalWrite(0, units.MiB)
+	if lat <= 0 || energy <= 0 {
+		t.Fatalf("internal write lat=%v energy=%v", lat, energy)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d := newDrive(t)
+	d.HostWrite(0, units.MiB)
+	d.HostRead(0, units.MiB)
+	d.InternalRead(0, 2*units.MiB)
+	reads, writes, br, bw := d.Counters()
+	if reads != 2 || writes != 1 {
+		t.Errorf("counters reads=%d writes=%d", reads, writes)
+	}
+	if br != 3*units.MiB || bw != units.MiB {
+		t.Errorf("byte counters read=%v written=%v", br, bw)
+	}
+}
+
+func TestECCPipelined(t *testing.T) {
+	d := newDrive(t)
+	// ECC for one page is its fixed depth; for many pages it grows slowly
+	// (pipelined with the channel transfer).
+	one := d.ecc(16 * units.KiB)
+	many := d.ecc(16 * 64 * units.KiB)
+	if one != d.Config().ECCPerPage {
+		t.Errorf("single-page ECC = %v", one)
+	}
+	if many >= 64*one {
+		t.Errorf("ECC must be pipelined: %v for 64 pages vs %v for one", many, one)
+	}
+}
+
+func TestLargeReadApproachesLinkBandwidth(t *testing.T) {
+	d := newDrive(t)
+	const size = 64 * units.MiB
+	d.HostWrite(0, size)
+	lat, _ := d.HostRead(0, size)
+	// Host link ~3.5 GB/s is the bottleneck: 64 MiB ~ 19 ms; the full path
+	// should land within 3x of that.
+	floor := d.Config().HostLink.TransferTime(size)
+	if lat < floor {
+		t.Errorf("read %v beats the link floor %v", lat, floor)
+	}
+	if lat > 3*floor {
+		t.Errorf("read %v more than 3x the link floor %v", lat, floor)
+	}
+}

@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dscs/internal/units"
+)
+
+func TestShapeElems(t *testing.T) {
+	if e := (Shape{224, 224, 3}).Elems(); e != 150528 {
+		t.Errorf("elems = %d", e)
+	}
+	if e := (Shape{}).Elems(); e != 1 {
+		t.Errorf("scalar elems = %d", e)
+	}
+	if e := (Shape{3, 0, 5}).Elems(); e != 0 {
+		t.Errorf("zero-dim elems = %d", e)
+	}
+}
+
+func TestShapeBytes(t *testing.T) {
+	s := Shape{224, 224, 3}
+	if b := s.Bytes(Float32); b != units.Bytes(150528*4) {
+		t.Errorf("fp32 bytes = %v", b)
+	}
+	if b := s.Bytes(Int8); b != 150528 {
+		t.Errorf("int8 bytes = %v", b)
+	}
+	if b := s.Bytes(Float16); b != units.Bytes(150528*2) {
+		t.Errorf("fp16 bytes = %v", b)
+	}
+}
+
+func TestWithBatch(t *testing.T) {
+	s := Shape{224, 224, 3}
+	b := s.WithBatch(8)
+	if !b.Equal(Shape{8, 224, 224, 3}) {
+		t.Errorf("WithBatch = %v", b)
+	}
+	if b.Elems() != 8*s.Elems() {
+		t.Errorf("batched elems = %d", b.Elems())
+	}
+	// The original must be untouched.
+	if !s.Equal(Shape{224, 224, 3}) {
+		t.Errorf("original mutated: %v", s)
+	}
+}
+
+func TestBatchScalesElemsProperty(t *testing.T) {
+	f := func(a, b, c uint8, batch uint8) bool {
+		s := Shape{int(a%16) + 1, int(b%16) + 1, int(c%16) + 1}
+		n := int(batch%8) + 1
+		return s.WithBatch(n).Elems() == int64(n)*s.Elems()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDTypeSizes(t *testing.T) {
+	cases := map[DType]units.Bytes{Int8: 1, Float16: 2, Int32: 4, Float32: 4}
+	for d, want := range cases {
+		if d.Size() != want {
+			t.Errorf("%v size = %d, want %d", d, d.Size(), want)
+		}
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if s := (Shape{8, 224, 224, 3}).String(); s != "[8x224x224x3]" {
+		t.Errorf("shape string = %q", s)
+	}
+}
+
+func TestDTypeString(t *testing.T) {
+	names := map[DType]string{Int8: "int8", Int32: "int32", Float16: "fp16", Float32: "fp32"}
+	for d, want := range names {
+		if d.String() != want {
+			t.Errorf("%d name = %q, want %q", d, d.String(), want)
+		}
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	if !(Shape{1, 2}).Equal(Shape{1, 2}) {
+		t.Error("equal shapes reported unequal")
+	}
+	if (Shape{1, 2}).Equal(Shape{1, 2, 3}) {
+		t.Error("different ranks reported equal")
+	}
+	if (Shape{1, 2}).Equal(Shape{2, 1}) {
+		t.Error("different dims reported equal")
+	}
+}

@@ -1,0 +1,125 @@
+// Package trace generates request arrival traces for the at-scale
+// evaluation (Figure 13a): an open-loop Poisson process whose rate follows
+// a bursty profile, with each request sampling a benchmark from the suite —
+// the methodology the paper borrows from serverless inference-serving work.
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"dscs/internal/metrics"
+	"dscs/internal/sim"
+	"dscs/internal/workload"
+)
+
+// Request is one arrival.
+type Request struct {
+	ID        int
+	At        time.Duration
+	Benchmark string // workload slug
+}
+
+// Trace is an ordered arrival sequence.
+type Trace struct {
+	Requests []Request
+	Duration time.Duration
+}
+
+// BurstyConfig parameterizes the rate profile: a base rate with periodic
+// bursts, matching the 200-800 requests/s swings of Figure 13a.
+type BurstyConfig struct {
+	Duration    time.Duration
+	BaseRate    float64 // requests per second between bursts
+	BurstRate   float64 // requests per second during bursts
+	BurstEvery  time.Duration
+	BurstLength time.Duration
+}
+
+// PaperTrace is the 20-minute bursty profile of the at-scale runs.
+func PaperTrace() BurstyConfig {
+	return BurstyConfig{
+		Duration:    20 * time.Minute,
+		BaseRate:    450,
+		BurstRate:   720,
+		BurstEvery:  4 * time.Minute,
+		BurstLength: 45 * time.Second,
+	}
+}
+
+// Validate rejects degenerate configs.
+func (c BurstyConfig) Validate() error {
+	if c.Duration <= 0 || c.BaseRate <= 0 || c.BurstRate < c.BaseRate {
+		return fmt.Errorf("trace: invalid rate profile")
+	}
+	if c.BurstEvery <= 0 || c.BurstLength <= 0 || c.BurstLength >= c.BurstEvery {
+		return fmt.Errorf("trace: invalid burst timing")
+	}
+	return nil
+}
+
+// RateAt returns the instantaneous arrival rate.
+func (c BurstyConfig) RateAt(t time.Duration) float64 {
+	phase := t % c.BurstEvery
+	if phase < c.BurstLength {
+		return c.BurstRate
+	}
+	return c.BaseRate
+}
+
+// Generate draws the arrival sequence: a non-homogeneous Poisson process by
+// thinning against the peak rate, with benchmarks sampled uniformly (the
+// paper samples functions randomly from the suite).
+func Generate(cfg BurstyConfig, suite []*workload.Benchmark, rng *sim.RNG) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("trace: empty suite")
+	}
+	tr := &Trace{Duration: cfg.Duration}
+	peak := cfg.BurstRate
+	meanGap := time.Duration(float64(time.Second) / peak)
+	t := time.Duration(0)
+	id := 0
+	for {
+		t += rng.Exp(meanGap)
+		if t >= cfg.Duration {
+			break
+		}
+		// Thinning: accept with probability rate(t)/peak.
+		if rng.Float64()*peak > cfg.RateAt(t) {
+			continue
+		}
+		b := suite[rng.Intn(len(suite))]
+		tr.Requests = append(tr.Requests, Request{ID: id, At: t, Benchmark: b.Slug})
+		id++
+	}
+	return tr, nil
+}
+
+// RateSeries buckets arrivals into a requests/second time series
+// (Figure 13a's plotted form).
+func (tr *Trace) RateSeries(bucket time.Duration) *metrics.Series {
+	s := &metrics.Series{Name: "requests/s"}
+	if bucket <= 0 || len(tr.Requests) == 0 {
+		return s
+	}
+	counts := make(map[int]int)
+	maxBucket := int(tr.Duration / bucket)
+	for _, r := range tr.Requests {
+		counts[int(r.At/bucket)]++
+	}
+	for i := 0; i <= maxBucket; i++ {
+		s.Add(time.Duration(i)*bucket, float64(counts[i])/bucket.Seconds())
+	}
+	return s
+}
+
+// MeanRate is the trace-wide average arrival rate.
+func (tr *Trace) MeanRate() float64 {
+	if tr.Duration <= 0 {
+		return 0
+	}
+	return float64(len(tr.Requests)) / tr.Duration.Seconds()
+}

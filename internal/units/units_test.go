@@ -1,0 +1,117 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2.00KB"},
+		{3500 * KB, "3.50MB"},
+		{7 * GB, "7.00GB"},
+		{2 * TB, "2.00TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d).String() = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	// 1 GB at 1 GB/s takes one second.
+	if got := GBps.TransferTime(GB); got != time.Second {
+		t.Errorf("1GB at 1GB/s = %v, want 1s", got)
+	}
+	// 100 Gb/s link moves 12.5 GB/s.
+	if got := Gbps(100).TransferTime(125 * MB); got != 10*time.Millisecond {
+		t.Errorf("125MB at 100Gbps = %v, want 10ms", got)
+	}
+	if got := Bandwidth(0).TransferTime(GB); got != 0 {
+		t.Errorf("zero bandwidth should give 0, got %v", got)
+	}
+	if got := GBps.TransferTime(-5); got != 0 {
+		t.Errorf("negative bytes should give 0, got %v", got)
+	}
+}
+
+func TestTransferTimeMonotonic(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := Bytes(a), Bytes(b)
+		if x > y {
+			x, y = y, x
+		}
+		return GBps.TransferTime(x) <= GBps.TransferTime(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	p := Power(25)
+	e := p.Times(2 * time.Second)
+	if e != 50 {
+		t.Fatalf("25W x 2s = %v, want 50J", e)
+	}
+	if back := e.Over(2 * time.Second); back != p {
+		t.Fatalf("50J / 2s = %v, want 25W", back)
+	}
+	if Energy(1).Over(0) != 0 {
+		t.Fatal("energy over zero duration should be 0 power")
+	}
+}
+
+func TestCyclesDuration(t *testing.T) {
+	// 1 GHz: one cycle is one nanosecond.
+	if d := CyclesToDuration(1000, GHz); d != time.Microsecond {
+		t.Errorf("1000 cycles @1GHz = %v, want 1us", d)
+	}
+	if c := DurationToCycles(time.Microsecond, GHz); c != 1000 {
+		t.Errorf("1us @1GHz = %d cycles, want 1000", c)
+	}
+	// 300 MHz FPGA clock.
+	if d := CyclesToDuration(300, 300*MHz); d != time.Microsecond {
+		t.Errorf("300 cycles @300MHz = %v, want 1us", d)
+	}
+	if CyclesToDuration(100, 0) != 0 {
+		t.Error("zero frequency should give zero duration")
+	}
+}
+
+func TestCycleRoundTripProperty(t *testing.T) {
+	f := func(c uint16) bool {
+		d := CyclesToDuration(uint64(c), GHz)
+		return DurationToCycles(d, GHz) == uint64(c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatting(t *testing.T) {
+	if s := Gbps(100).String(); s != "12.5GB/s" {
+		t.Errorf("100Gbps = %q", s)
+	}
+	if s := Power(4.2).String(); s != "4.20W" {
+		t.Errorf("power format = %q", s)
+	}
+	if s := Area(30.25).String(); s != "30.25mm2" {
+		t.Errorf("area format = %q", s)
+	}
+	if s := Energy(0.0035).String(); s != "3.500mJ" {
+		t.Errorf("energy format = %q", s)
+	}
+	if s := Frequency(1.5 * 1e9).String(); s != "1.50GHz" {
+		t.Errorf("freq format = %q", s)
+	}
+	if s := Dollars(12.5).String(); s != "$12.50" {
+		t.Errorf("dollars format = %q", s)
+	}
+}
