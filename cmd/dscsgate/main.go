@@ -4,13 +4,16 @@
 //
 // Usage:
 //
-//	dscsgate -addr :8080 &
+//	dscsgate -addr :8080 -workers 8 -policy criticality &
 //	curl -X POST --data-binary @app.yaml localhost:8080/system/functions
 //	curl -X POST -d '{"quantile":0.5}' localhost:8080/function/asset-damage
 //	curl localhost:8080/system/functions
 //	curl localhost:8080/metrics
 //
-// Pass -deploy-all to pre-deploy the whole benchmark suite.
+// Pass -deploy-all to pre-deploy the whole benchmark suite. The serving
+// engine is tuned with -workers (pool size per platform), -policy (fcfs,
+// criticality, dag-aware), -queue-depth (admission bound; a full queue
+// returns HTTP 429), and -max-batch (same-benchmark request coalescing).
 package main
 
 import (
@@ -26,14 +29,19 @@ import (
 	"dscs"
 	"dscs/internal/faas"
 	"dscs/internal/gateway"
+	"dscs/internal/serve"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		seed      = flag.Uint64("seed", 7, "environment seed")
-		deployAll = flag.Bool("deploy-all", false, "pre-deploy the whole suite")
-		demo      = flag.Bool("demo", false, "run a self-contained request demo and exit")
+		addr       = flag.String("addr", ":8080", "listen address")
+		seed       = flag.Uint64("seed", 7, "environment seed")
+		deployAll  = flag.Bool("deploy-all", false, "pre-deploy the whole suite")
+		demo       = flag.Bool("demo", false, "run a self-contained request demo and exit")
+		workers    = flag.Int("workers", 4, "worker pool size per platform")
+		policy     = flag.String("policy", "fcfs", "scheduling policy: "+strings.Join(serve.PolicyNames(), ", "))
+		queueDepth = flag.Int("queue-depth", 256, "admission queue bound per platform")
+		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max same-benchmark requests coalesced per execution")
 	)
 	flag.Parse()
 
@@ -41,10 +49,17 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	gw, err := gateway.New(env.Runners, "DSCS-Serverless", "Baseline (CPU)")
+	gw, err := gateway.NewWithOptions(env.Runners, "DSCS-Serverless", "Baseline (CPU)",
+		serve.Options{
+			Workers:    *workers,
+			PolicyName: *policy,
+			QueueDepth: *queueDepth,
+			MaxBatch:   *maxBatch,
+		})
 	if err != nil {
 		fail(err)
 	}
+	defer gw.Close()
 
 	if *deployAll || *demo {
 		if err := deploySuite(gw); err != nil {
@@ -58,11 +73,12 @@ func main() {
 		return
 	}
 
-	fmt.Printf("DSCS-Serverless gateway listening on %s\n", *addr)
+	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d)\n",
+		*addr, *workers, *policy, *queueDepth, *maxBatch)
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")
-	fmt.Println("  GET  /metrics            telemetry")
+	fmt.Println("  GET  /metrics            telemetry (incl. serve_* queue/batch metrics)")
 	if err := http.ListenAndServe(*addr, gw.Handler()); err != nil {
 		fail(err)
 	}

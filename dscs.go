@@ -33,6 +33,7 @@ import (
 	"dscs/internal/model"
 	"dscs/internal/platform"
 	"dscs/internal/power"
+	"dscs/internal/serve"
 	"dscs/internal/units"
 	"dscs/internal/workload"
 )
@@ -68,6 +69,20 @@ type (
 	DesignPoint = dse.Point
 	// Platform is one Table 2 compute platform.
 	Platform = platform.Compute
+
+	// Server is the concurrent serving engine: per-platform worker pools,
+	// bounded-queue admission control with pluggable scheduling policies,
+	// and same-benchmark request batching.
+	Server = serve.Engine
+	// ServeOptions tune the serving engine (workers, queue depth, policy,
+	// batching).
+	ServeOptions = serve.Options
+	// ServedInvocation is one engine-served request with its queueing and
+	// batching telemetry.
+	ServedInvocation = serve.Invocation
+	// Gateway is the OpenFaaS-style HTTP front end over the serving
+	// engine; call Close to stop its worker pools.
+	Gateway = gateway.Gateway
 )
 
 // NewEnvironment builds the default evaluation environment with the given
@@ -158,12 +173,35 @@ func RunExperiment(id string, env *Environment) (*ExperimentResult, error) {
 // benchmark, including the in-storage acceleration hints.
 func DeploymentYAML(b *Benchmark) string { return faas.DeploymentYAML(b) }
 
-// NewGatewayHandler returns the OpenFaaS-style HTTP API over an
+// NewServer builds the concurrent serving engine over an environment's
+// runners — one worker pool per Table 2 platform. Zero-valued options get
+// the defaults (4 workers/platform, 256-deep queues, FCFS, batch 8).
+func NewServer(env *Environment, opt ServeOptions) (*Server, error) {
+	return serve.NewEngine(env.Runners, opt)
+}
+
+// SchedulingPolicies lists the accepted ServeOptions.PolicyName values.
+func SchedulingPolicies() []string { return serve.PolicyNames() }
+
+// NewGateway builds the OpenFaaS-style HTTP front end over an
 // environment's runners: POST /system/functions deploys a YAML application,
-// POST /function/<name> invokes it (routed to DSCS when the chain carries
-// acceleration hints), GET /metrics scrapes telemetry.
+// POST /function/<name> invokes it through the serving engine (routed to
+// DSCS when the chain carries acceleration hints, HTTP 429 when admission
+// control rejects), GET /metrics scrapes telemetry including queue depth,
+// drops, and batch occupancy. Call Close when done to stop the engine's
+// worker pools.
+func NewGateway(env *Environment, opt ServeOptions) (*Gateway, error) {
+	return gateway.NewWithOptions(env.Runners,
+		platform.DSCS().Name(), platform.BaselineCPU().Name(), opt)
+}
+
+// NewGatewayHandler is NewGateway for callers that only need the handler
+// and keep it for the process lifetime; the underlying engine's worker
+// pools cannot be stopped through the returned handler — use NewGateway
+// (and its Close) when the gateway's lifetime is shorter than the
+// process's.
 func NewGatewayHandler(env *Environment) (http.Handler, error) {
-	gw, err := gateway.New(env.Runners, platform.DSCS().Name(), platform.BaselineCPU().Name())
+	gw, err := NewGateway(env, ServeOptions{})
 	if err != nil {
 		return nil, err
 	}

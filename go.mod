@@ -1,0 +1,3 @@
+module dscs
+
+go 1.24

@@ -3,6 +3,11 @@
 // the paper), a 10,000-deep FCFS queue, and a bursty arrival trace. It
 // produces the time series of Figure 13: queued functions over time and
 // wall-clock request latency for each system.
+//
+// The simulation drives the same scheduling core as the live serving path
+// (serve.PoolCore over sched's bounded queue and pluggable policies), so
+// what Figure 13 measures is literally the scheduler the gateway runs —
+// only the clock differs: virtual here, wall time there.
 package cluster
 
 import (
@@ -11,6 +16,7 @@ import (
 
 	"dscs/internal/metrics"
 	"dscs/internal/sched"
+	"dscs/internal/serve"
 	"dscs/internal/sim"
 	"dscs/internal/trace"
 )
@@ -24,6 +30,9 @@ type Config struct {
 	Instances  int
 	QueueDepth int
 	Service    ServiceModel
+	// Policy selects queued work for free instances; nil means the
+	// paper's deployed FCFS.
+	Policy sched.Policy
 	// SampleEvery sets the telemetry sampling period for the series.
 	SampleEvery time.Duration
 }
@@ -59,7 +68,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	}
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(seed)
-	fcfs, err := sched.NewFCFS(cfg.Instances, cfg.QueueDepth, sched.NewTelemetry())
+	core, err := serve.NewPoolCore(cfg.Instances, cfg.QueueDepth, sched.ClassCPU, cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -76,14 +85,14 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	var pump func()
 	pump = func() {
 		for {
-			task, ok := fcfs.Dispatch()
+			task, ok := core.Dispatch()
 			if !ok {
 				return
 			}
 			service := cfg.Service(task.Payload, rng)
 			arrived := task.Arrived
 			engine.After(service, func() {
-				fcfs.Complete()
+				core.Complete(1)
 				lat := engine.Now() - arrived
 				st.Completed++
 				st.LatencySample.Add(lat)
@@ -97,7 +106,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
-			fcfs.Submit(sched.Task{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark})
+			core.Submit(sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark})
 			pump()
 		})
 	}
@@ -107,7 +116,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	for t := time.Duration(0); t <= horizon; t += cfg.SampleEvery {
 		at := t
 		engine.At(at, func() {
-			st.Queue.Add(at, float64(fcfs.QueueLen()))
+			st.Queue.Add(at, float64(core.QueueLen()))
 			if bucketN > 0 {
 				st.Latency.Add(at, float64(bucketSum.Milliseconds())/float64(bucketN))
 				bucketSum, bucketN = 0, 0
@@ -116,8 +125,8 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	}
 
 	engine.Run()
-	st.Dropped = fcfs.Dropped()
-	if err := fcfs.Conservation(); err != nil {
+	st.Dropped = core.Dropped()
+	if err := core.Conservation(); err != nil {
 		return nil, err
 	}
 	if st.Completed+st.Dropped != len(tr.Requests) {

@@ -8,6 +8,7 @@ package csd
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dscs/internal/dsa"
@@ -82,12 +83,15 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Drive is one DSCS-Drive instance.
+// Drive is one DSCS-Drive instance. Safe for concurrent use: the embedded
+// SSD serializes its own command path, and the drive-level occupancy and
+// keep-warm state sit behind one lock.
 type Drive struct {
 	cfg Config
 	ssd *ssd.Drive
 	sim *dsa.Simulator
 
+	mu   sync.Mutex
 	busy bool
 	// residentWeights tracks which function's weights are loaded in the
 	// DSA's DRAM (the keep-warm state of Section 5.3).
@@ -119,10 +123,16 @@ func (d *Drive) SSD() *ssd.Drive { return d.ssd }
 
 // Busy reports whether a function currently occupies the DSA
 // (run-to-completion, no preemption — Section 5.3).
-func (d *Drive) Busy() bool { return d.busy }
+func (d *Drive) Busy() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busy
+}
 
 // Acquire marks the DSA busy; it reports false if already occupied.
 func (d *Drive) Acquire() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.busy {
 		return false
 	}
@@ -131,10 +141,18 @@ func (d *Drive) Acquire() bool {
 }
 
 // Release frees the DSA.
-func (d *Drive) Release() { d.busy = false }
+func (d *Drive) Release() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.busy = false
+}
 
 // ResidentWeights reports which function's weights are warm in DSA DRAM.
-func (d *Drive) ResidentWeights() string { return d.residentWeights }
+func (d *Drive) ResidentWeights() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.residentWeights
+}
 
 // ExecResult breaks down one in-storage function execution.
 type ExecResult struct {
@@ -159,7 +177,9 @@ func (d *Drive) LoadWeights(fn string, bytes units.Bytes, offset int64) (time.Du
 	readLat, readEnergy := d.ssd.InternalRead(offset, bytes)
 	dma := pcie.DMAEngine{Link: d.cfg.P2P}
 	xferLat, xferEnergy := dma.Transfer(bytes)
+	d.mu.Lock()
 	d.residentWeights = fn
+	d.mu.Unlock()
 	return d.cfg.DriverSyscall + readLat + xferLat, readEnergy + xferEnergy
 }
 
@@ -169,7 +189,9 @@ func (d *Drive) EvictWeights(bytes units.Bytes, offset int64) (time.Duration, un
 	dma := pcie.DMAEngine{Link: d.cfg.P2P}
 	xferLat, xferEnergy := dma.Transfer(bytes)
 	writeLat, writeEnergy := d.ssd.InternalWrite(offset, bytes)
+	d.mu.Lock()
 	d.residentWeights = ""
+	d.mu.Unlock()
 	return xferLat + writeLat, xferEnergy + writeEnergy
 }
 
@@ -259,7 +281,7 @@ const ArbitrationPenalty = 0.12
 // preserved (Section 5.2's storage-utilization argument), just derated.
 func (d *Drive) HostReadConcurrent(offset int64, n units.Bytes) (time.Duration, units.Energy) {
 	lat, energy := d.ssd.HostRead(offset, n)
-	if d.busy {
+	if d.Busy() {
 		lat = lat + time.Duration(float64(lat)*ArbitrationPenalty)
 	}
 	return lat, energy
@@ -268,7 +290,7 @@ func (d *Drive) HostReadConcurrent(offset int64, n units.Bytes) (time.Duration, 
 // HostWriteConcurrent is the write-side analogue.
 func (d *Drive) HostWriteConcurrent(offset int64, n units.Bytes) (time.Duration, units.Energy) {
 	lat, energy := d.ssd.HostWrite(offset, n)
-	if d.busy {
+	if d.Busy() {
 		lat = lat + time.Duration(float64(lat)*ArbitrationPenalty)
 	}
 	return lat, energy

@@ -6,6 +6,7 @@ import (
 	"dscs/internal/cluster"
 	"dscs/internal/faas"
 	"dscs/internal/metrics"
+	"dscs/internal/sched"
 	"dscs/internal/sim"
 	"dscs/internal/trace"
 )
@@ -48,11 +49,18 @@ func Fig13(env *Environment) (*Result, error) {
 		return nil, err
 	}
 
-	baseStats, err := cluster.Run(tr, cluster.PaperConfig(baseService), env.Seed+101)
+	// Both systems replay under the paper's deployed FCFS policy — the
+	// same policy implementation the live serving engine dispatches with,
+	// driven here by the discrete-event clock instead of worker pools.
+	baseCfg := cluster.PaperConfig(baseService)
+	baseCfg.Policy = sched.FCFSPolicy{}
+	dscsCfg := cluster.PaperConfig(dscsService)
+	dscsCfg.Policy = sched.FCFSPolicy{}
+	baseStats, err := cluster.Run(tr, baseCfg, env.Seed+101)
 	if err != nil {
 		return nil, err
 	}
-	dscsStats, err := cluster.Run(tr, cluster.PaperConfig(dscsService), env.Seed+102)
+	dscsStats, err := cluster.Run(tr, dscsCfg, env.Seed+102)
 	if err != nil {
 		return nil, err
 	}

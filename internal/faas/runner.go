@@ -16,6 +16,7 @@ package faas
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dscs/internal/csd"
@@ -129,6 +130,15 @@ func (o Options) batch() int {
 }
 
 // Runner executes applications for one platform over one storage setup.
+//
+// Invoke is safe for concurrent use: the runner's only mutable state is the
+// deployed-input ledger behind its own lock; the object store and drives
+// serialize themselves and sample network jitter from per-operation RNG
+// streams split off the seed generator (sim.RNG.Split), so concurrent
+// invocations never share a generator; and DSA compilation results are
+// memoized with singleflight semantics in the platform layer. Do not mutate
+// the exported model fields (Stack, Energy, Cold, Egress) while invocations
+// are in flight.
 type Runner struct {
 	Store    *objstore.Store
 	Platform platform.Compute
@@ -137,6 +147,8 @@ type Runner struct {
 	Cold     ColdStartModel
 	Egress   network.Fabric
 
+	// putMu guards put, the only runner-local mutable state.
+	putMu sync.Mutex
 	// put tracks deployed input objects: key -> size, to avoid re-puts.
 	put map[string]units.Bytes
 }
@@ -162,17 +174,37 @@ func (r *Runner) weightDType() tensor.DType {
 	return tensor.Float32
 }
 
+// stageKey names a per-stage object. Sizes scale with the request batch,
+// so batched invocations get their own keys: concurrent invocations of one
+// benchmark at different batch sizes must not re-place each other's
+// objects mid-flight (a same-size re-put overwrites in place, which is
+// race-benign; a different-size one would re-place the object under a
+// concurrent reader). Batch 1 keeps the bare key.
+func stageKey(slug, stage string, batch int) string {
+	if batch <= 1 {
+		return slug + "/" + stage
+	}
+	return fmt.Sprintf("%s/%s@b%d", slug, stage, batch)
+}
+
 // ensureInput places the request payload in the object store (request
 // arrival precedes invocation and is not part of end-to-end latency).
-func (r *Runner) ensureInput(b *workload.Benchmark, size units.Bytes) (string, error) {
-	key := b.Slug + "/input"
-	if r.put[key] == size {
+// Concurrent misses on the same key race benignly: PutAt overwrites in
+// place for an existing key of the same size.
+func (r *Runner) ensureInput(b *workload.Benchmark, size units.Bytes, batch int) (string, error) {
+	key := stageKey(b.Slug, "input", batch)
+	r.putMu.Lock()
+	have := r.put[key] == size
+	r.putMu.Unlock()
+	if have {
 		return key, nil
 	}
 	if _, _, err := r.Store.PutAt(key, size, true, 0.5); err != nil {
 		return "", err
 	}
+	r.putMu.Lock()
 	r.put[key] = size
+	r.putMu.Unlock()
 	return key, nil
 }
 
@@ -184,7 +216,7 @@ func (r *Runner) Invoke(b *workload.Benchmark, opt Options) (Result, error) {
 	}
 	batch := opt.batch()
 	inBytes := b.InputBytes * units.Bytes(batch)
-	inputKey, err := r.ensureInput(b, inBytes)
+	inputKey, err := r.ensureInput(b, inBytes, batch)
 	if err != nil {
 		return Result{}, err
 	}
@@ -311,8 +343,8 @@ func (r *Runner) invokeTraditional(b *workload.Benchmark, opt Options, inputKey 
 	var res Result
 	batch := opt.batch()
 	q := opt.Quantile
-	interKey := b.Slug + "/intermediate"
-	outKey := b.Slug + "/output"
+	interKey := stageKey(b.Slug, "intermediate", batch)
+	outKey := stageKey(b.Slug, "output", batch)
 	interBytes := b.IntermediateBytes * units.Bytes(batch)
 	outBytes := b.OutputBytes * units.Bytes(batch)
 
@@ -389,7 +421,7 @@ func (r *Runner) invokeNearStorage(b *workload.Benchmark, opt Options, inputKey 
 	q := opt.Quantile
 	interBytes := b.IntermediateBytes * units.Bytes(batch)
 	outBytes := b.OutputBytes * units.Bytes(batch)
-	outKey := b.Slug + "/output"
+	outKey := stageKey(b.Slug, "output", batch)
 
 	node, offset, ok := r.Store.DSCSReplicaHealthy(inputKey)
 	if !ok {
@@ -454,7 +486,7 @@ func (r *Runner) invokeDSCS(b *workload.Benchmark, app *Application, opt Options
 	var res Result
 	batch := opt.batch()
 	q := opt.Quantile
-	outKey := b.Slug + "/output"
+	outKey := stageKey(b.Slug, "output", batch)
 	inBytes := b.InputBytes * units.Bytes(batch)
 	outBytes := b.OutputBytes * units.Bytes(batch)
 

@@ -2,12 +2,18 @@
 // OpenFaaS-style API: deploy an application from its YAML (with the
 // in-storage acceleration hints), invoke it, list deployments, and scrape
 // telemetry. The gateway routes accelerated applications to the
-// DSCS-Serverless runner and everything else (or explicit requests) to the
+// DSCS-Serverless pool and everything else (or explicit requests) to the
 // CPU baseline — the minimal-disruption integration of Section 5.1.
+//
+// Invocations flow through the concurrent serving engine (internal/serve):
+// per-platform worker pools, bounded-queue admission control (a full queue
+// is HTTP 429), pluggable scheduling policies, and same-benchmark request
+// batching. Nothing on the request path holds a gateway-wide lock.
 package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +24,7 @@ import (
 
 	"dscs/internal/faas"
 	"dscs/internal/sched"
+	"dscs/internal/serve"
 	"dscs/internal/workload"
 )
 
@@ -29,36 +36,63 @@ type Deployment struct {
 	At        time.Time
 }
 
-// Gateway serves the API. Safe for concurrent use.
+// Gateway serves the API. Safe for concurrent use: the deployment registry
+// sits behind a read-write lock and invocations go straight to the serving
+// engine — no gateway-wide mutex serializes the request path.
 type Gateway struct {
-	mu      sync.Mutex
-	apps    map[string]*Deployment
-	runners map[string]*faas.Runner
-	// route maps an application to its default runner name.
+	mu     sync.RWMutex
+	apps   map[string]*Deployment
+	engine *serve.Engine
+	// route maps an application to its default platform pool.
 	defaultAccel, defaultPlain string
 	tel                        *sched.Telemetry
 }
 
-// New builds a gateway over the given runners. accelRunner serves
-// applications whose chains carry acceleration hints; plainRunner the rest.
+// New builds a gateway over the given runners with default serving-engine
+// options. accelRunner serves applications whose chains carry acceleration
+// hints; plainRunner the rest.
 func New(runners map[string]*faas.Runner, accelRunner, plainRunner string) (*Gateway, error) {
+	return NewWithOptions(runners, accelRunner, plainRunner, serve.Options{})
+}
+
+// NewWithOptions builds a gateway whose serving engine uses the given
+// worker-pool, admission, policy, and batching options. The engine shares
+// the gateway's telemetry registry, so /metrics surfaces queue depth,
+// drops, and batch occupancy alongside the gateway counters.
+func NewWithOptions(runners map[string]*faas.Runner, accelRunner, plainRunner string, opt serve.Options) (*Gateway, error) {
 	if _, ok := runners[accelRunner]; !ok {
 		return nil, fmt.Errorf("gateway: unknown accelerated runner %q", accelRunner)
 	}
 	if _, ok := runners[plainRunner]; !ok {
 		return nil, fmt.Errorf("gateway: unknown plain runner %q", plainRunner)
 	}
+	tel := opt.Telemetry
+	if tel == nil {
+		tel = sched.NewTelemetry()
+		opt.Telemetry = tel
+	}
+	engine, err := serve.NewEngine(runners, opt)
+	if err != nil {
+		return nil, err
+	}
 	return &Gateway{
 		apps:         make(map[string]*Deployment),
-		runners:      runners,
+		engine:       engine,
 		defaultAccel: accelRunner,
 		defaultPlain: plainRunner,
-		tel:          sched.NewTelemetry(),
+		tel:          tel,
 	}, nil
 }
 
 // Telemetry exposes the gateway's metric registry.
 func (g *Gateway) Telemetry() *sched.Telemetry { return g.tel }
+
+// Engine exposes the serving engine (diagnostics, tests).
+func (g *Gateway) Engine() *serve.Engine { return g.engine }
+
+// Close stops the serving engine's worker pools after draining their
+// queues. The gateway must not be invoked afterwards.
+func (g *Gateway) Close() { g.engine.Close() }
 
 // Handler returns the HTTP API.
 func (g *Gateway) Handler() http.Handler {
@@ -126,7 +160,7 @@ type listEntry struct {
 }
 
 func (g *Gateway) list(w http.ResponseWriter) {
-	g.mu.Lock()
+	g.mu.RLock()
 	entries := make([]listEntry, 0, len(g.apps))
 	for _, d := range g.apps {
 		entries = append(entries, listEntry{
@@ -137,7 +171,7 @@ func (g *Gateway) list(w http.ResponseWriter) {
 			Runner:      g.routeFor(d),
 		})
 	}
-	g.mu.Unlock()
+	g.mu.RUnlock()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
 	writeJSON(w, entries)
 }
@@ -170,6 +204,10 @@ type invokeResponse struct {
 	ColdMS      float64 `json:"cold_start_ms"`
 	NotifyMS    float64 `json:"notify_ms"`
 	EnergyJ     float64 `json:"energy_j"`
+	// Serving-engine telemetry for this request.
+	QueuedMS      float64 `json:"queued_ms"`
+	BatchRequests int     `json:"batch_requests"`
+	BatchSize     int     `json:"batch_size"`
 }
 
 func (g *Gateway) invoke(w http.ResponseWriter, r *http.Request) {
@@ -178,9 +216,9 @@ func (g *Gateway) invoke(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := strings.TrimPrefix(r.URL.Path, "/function/")
-	g.mu.Lock()
+	g.mu.RLock()
 	d, ok := g.apps[name]
-	g.mu.Unlock()
+	g.mu.RUnlock()
 	if !ok {
 		g.tel.Inc("gateway_not_found_total", 1)
 		http.Error(w, fmt.Sprintf("application %q not deployed", name), http.StatusNotFound)
@@ -198,41 +236,49 @@ func (g *Gateway) invoke(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	runnerName := g.routeFor(d)
+	platformName := g.routeFor(d)
 	if p := r.URL.Query().Get("platform"); p != "" {
-		if _, ok := g.runners[p]; !ok {
+		if !g.engine.Has(p) {
 			http.Error(w, fmt.Sprintf("unknown platform %q", p), http.StatusBadRequest)
 			return
 		}
-		runnerName = p
+		platformName = p
 	}
-	runner := g.runners[runnerName]
 
-	res, err := runner.Invoke(d.Benchmark, faas.Options{
+	inv, err := g.engine.Submit(platformName, d.Benchmark, faas.Options{
 		Batch: req.Batch, Cold: req.Cold, Quantile: req.Quantile,
 	})
-	if err != nil {
+	switch {
+	case errors.Is(err, serve.ErrQueueFull):
+		g.tel.Inc("gateway_throttled_total", 1)
+		http.Error(w, "queue full", http.StatusTooManyRequests)
+		return
+	case err != nil:
 		g.tel.Inc("gateway_errors_total", 1)
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	g.tel.Inc("gateway_invocations_total", 1)
-	g.tel.Inc("gateway_invocations_total{platform="+runnerName+"}", 1)
+	g.tel.Inc("gateway_invocations_total{platform="+platformName+"}", 1)
 
 	ms := func(dur time.Duration) float64 { return float64(dur) / float64(time.Millisecond) }
+	res := inv.Result
 	bd := res.Breakdown
 	writeJSON(w, invokeResponse{
-		Application: name,
-		Platform:    runnerName,
-		TotalMS:     ms(res.Total()),
-		StackMS:     ms(bd.Stack),
-		RemoteIOMS:  ms(bd.RemoteRead + bd.RemoteWrite),
-		ComputeMS:   ms(bd.Compute),
-		DeviceIOMS:  ms(bd.DeviceIO),
-		DriverMS:    ms(bd.Driver),
-		ColdMS:      ms(bd.ColdStart),
-		NotifyMS:    ms(bd.Notify),
-		EnergyJ:     float64(res.Energy),
+		Application:   name,
+		Platform:      platformName,
+		TotalMS:       ms(res.Total()),
+		StackMS:       ms(bd.Stack),
+		RemoteIOMS:    ms(bd.RemoteRead + bd.RemoteWrite),
+		ComputeMS:     ms(bd.Compute),
+		DeviceIOMS:    ms(bd.DeviceIO),
+		DriverMS:      ms(bd.Driver),
+		ColdMS:        ms(bd.ColdStart),
+		NotifyMS:      ms(bd.Notify),
+		EnergyJ:       float64(res.Energy),
+		QueuedMS:      ms(inv.Queued),
+		BatchRequests: inv.BatchRequests,
+		BatchSize:     inv.BatchSize,
 	})
 }
 

@@ -3,22 +3,27 @@ package gateway
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
 	"strings"
+	"sync"
 	"testing"
 
 	"dscs/internal/csd"
 	"dscs/internal/faas"
 	"dscs/internal/objstore"
 	"dscs/internal/platform"
+	"dscs/internal/serve"
 	"dscs/internal/sim"
 	"dscs/internal/ssd"
 	"dscs/internal/workload"
 )
 
-func testGateway(t *testing.T) *Gateway {
+// testGatewayWithOptions builds the standard six-node fixture (four plain
+// SSDs, two DSCS-Drives) and a gateway with the given engine options.
+func testGatewayWithOptions(t *testing.T, seed uint64, opt serve.Options) *Gateway {
 	t.Helper()
 	var nodes []*objstore.Node
 	for i := 0; i < 4; i++ {
@@ -39,7 +44,7 @@ func testGateway(t *testing.T) *Gateway {
 			ID: fmt.Sprintf("dscs-%d", i), Kind: objstore.DSCSDrive, CSD: d,
 		})
 	}
-	store, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(17))
+	store, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(seed))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,11 +52,17 @@ func testGateway(t *testing.T) *Gateway {
 		"DSCS-Serverless": faas.NewRunner(store, platform.DSCS()),
 		"Baseline (CPU)":  faas.NewRunner(store, platform.BaselineCPU()),
 	}
-	g, err := New(runners, "DSCS-Serverless", "Baseline (CPU)")
+	g, err := NewWithOptions(runners, "DSCS-Serverless", "Baseline (CPU)", opt)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(g.Close)
 	return g
+}
+
+func testGateway(t *testing.T) *Gateway {
+	t.Helper()
+	return testGatewayWithOptions(t, 17, serve.Options{})
 }
 
 func deployApp(t *testing.T, srv *httptest.Server, slug string) {
@@ -237,5 +248,98 @@ func TestMetricsAndHealth(t *testing.T) {
 func TestNewValidation(t *testing.T) {
 	if _, err := New(map[string]*faas.Runner{}, "a", "b"); err == nil {
 		t.Error("missing runners must fail")
+	}
+}
+
+// TestConcurrentDeployInvoke hammers the handler with 64 parallel
+// deploy+invoke pairs (run under -race in CI): every request must succeed —
+// the queue depth exceeds the burst, so admission control may not drop
+// anything — and the aggregate telemetry must account for every invocation
+// deterministically.
+func TestConcurrentDeployInvoke(t *testing.T) {
+	suite := workload.Suite()
+	g := testGatewayWithOptions(t, 29, serve.Options{Workers: 8, QueueDepth: 256})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	const parallel = 64
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*parallel)
+	for i := 0; i < parallel; i++ {
+		b := suite[i%len(suite)]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Deploy (idempotent per app) then invoke, both through HTTP.
+			resp, err := http.Post(srv.URL+"/system/functions", "application/x-yaml",
+				strings.NewReader(faas.DeploymentYAML(b)))
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				errs <- fmt.Errorf("deploy %s: status %d", b.Slug, resp.StatusCode)
+				return
+			}
+			resp, err = http.Post(srv.URL+"/function/"+b.Slug, "application/json",
+				strings.NewReader(`{"quantile":0.5}`))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("invoke %s: status %d", b.Slug, resp.StatusCode)
+				return
+			}
+			var inv invokeResponse
+			if err := json.NewDecoder(resp.Body).Decode(&inv); err != nil {
+				errs <- err
+				return
+			}
+			if inv.TotalMS <= 0 || inv.BatchRequests < 1 {
+				errs <- fmt.Errorf("degenerate response for %s: %+v", b.Slug, inv)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	tel := g.Telemetry()
+	if got := tel.Counter("gateway_invocations_total"); got != parallel {
+		t.Errorf("gateway_invocations_total = %g, want %d", got, parallel)
+	}
+	if got := tel.Counter("gateway_deployments_total"); got != parallel {
+		t.Errorf("gateway_deployments_total = %g, want %d", got, parallel)
+	}
+	if got := tel.Counter("serve_completed_total"); got != parallel {
+		t.Errorf("serve_completed_total = %g, want %d", got, parallel)
+	}
+	if dropped := g.Engine().Dropped(); dropped != 0 {
+		t.Errorf("%d drops below queue depth", dropped)
+	}
+	if got := tel.Counter("gateway_throttled_total"); got != 0 {
+		t.Errorf("gateway_throttled_total = %g, want 0", got)
+	}
+	if err := g.Engine().Conservation(); err != nil {
+		t.Error(err)
+	}
+
+	// The serving-engine metrics surface on /metrics.
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, metric := range []string{"serve_queue_depth", "serve_batch_occupancy", "serve_completed_total"} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %s:\n%s", metric, text)
+		}
 	}
 }

@@ -23,6 +23,8 @@ const (
 // FailNode marks a node unavailable; reads fail over to the surviving
 // replicas and DSCSReplica stops offering the node.
 func (s *Store) FailNode(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("objstore: no such node %q", id)
@@ -33,6 +35,8 @@ func (s *Store) FailNode(id string) error {
 
 // RecoverNode marks a node healthy again.
 func (s *Store) RecoverNode(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("objstore: no such node %q", id)
@@ -48,10 +52,13 @@ func (n *Node) healthy() bool { return n.health == Healthy }
 // retries the next replica after a timeout-scale penalty per dead node.
 // It fails only when every replica of some chunk is down.
 func (s *Store) GetWithFailover(key string, q float64) (time.Duration, units.Energy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	obj, ok := s.objects[key]
 	if !ok {
 		return 0, 0, fmt.Errorf("objstore: no such key %q", key)
 	}
+	rng := s.stream(q)
 	const retryPenalty = 2 * time.Millisecond // health-probe + retry cost
 	var total time.Duration
 	var energy units.Energy
@@ -68,7 +75,7 @@ func (s *Store) GetWithFailover(key string, q float64) (time.Duration, units.Ene
 			devLat, devEnergy := n.Drive().HostRead(rep.Offset, chunk.Size)
 			energy += devEnergy
 			total += requestPathCost(s.cfg, chunk.Size) +
-				s.fabricLatency(chunk.Size, q) + devLat
+				s.fabricLatency(chunk.Size, q, rng) + devLat
 			served = true
 			break
 		}
@@ -85,7 +92,9 @@ func (s *Store) GetWithFailover(key string, q float64) (time.Duration, units.Ene
 // DSCS drive holding the data is down, in-storage execution is impossible
 // and the caller falls back to conventional execution (Section 5.3).
 func (s *Store) DSCSReplicaHealthy(key string) (node *Node, offset int64, ok bool) {
-	n, off, found := s.DSCSReplica(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, off, found := s.dscsReplica(key)
 	if !found || !n.healthy() {
 		return nil, 0, false
 	}
@@ -98,6 +107,8 @@ func (s *Store) DSCSReplicaHealthy(key string) (node *Node, offset int64, ok boo
 // of chunks moved and the total bytes copied (the background repair
 // traffic a real store would schedule).
 func (s *Store) ReReplicate(failedID string) (chunks int, moved units.Bytes, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	failed, ok := s.byID[failedID]
 	if !ok {
 		return 0, 0, fmt.Errorf("objstore: no such node %q", failedID)
@@ -161,6 +172,8 @@ func (s *Store) pickRepairTarget(obj *Object, holders map[string]bool) *Node {
 
 // HealthyNodes counts nodes currently serving.
 func (s *Store) HealthyNodes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	c := 0
 	for _, n := range s.nodes {
 		if n.healthy() {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"time"
 
 	"dscs/internal/csd"
@@ -112,8 +113,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Store is the object store.
+// Store is the object store. It is safe for concurrent use: one lock
+// serializes metadata, placement cursors, and drive access — the
+// metadata-service bottleneck a real disaggregated store also has — while
+// stochastic network sampling draws from a per-operation stream split off
+// the seed RNG, so concurrent invocations never share a generator.
 type Store struct {
+	mu      sync.Mutex
 	cfg     Config
 	nodes   []*Node
 	byID    map[string]*Node
@@ -223,12 +229,22 @@ func requestPathCost(cfg Config, payload units.Bytes) time.Duration {
 	return rpc.RequestPath(cfg.Codec, cfg.Stack, payload)
 }
 
+// stream derives an independent per-operation RNG stream. Callers must hold
+// s.mu; the returned stream is then private to the operation, so sampling
+// never races even when many invocations overlap.
+func (s *Store) stream(q float64) *sim.RNG {
+	if q > 0 {
+		return nil // analytic quantile path draws nothing
+	}
+	return s.rng.Split()
+}
+
 // fabricLatency evaluates the network component: a positive quantile gives
 // the analytic value (the tail sweeps of Figure 15); zero or negative
-// samples stochastically.
-func (s *Store) fabricLatency(payload units.Bytes, q float64) time.Duration {
+// samples stochastically from the operation's split stream.
+func (s *Store) fabricLatency(payload units.Bytes, q float64, rng *sim.RNG) time.Duration {
 	if q <= 0 {
-		return s.cfg.Fabric.RequestLatency(payload, s.rng)
+		return s.cfg.Fabric.RequestLatency(payload, rng)
 	}
 	return s.cfg.Fabric.QuantileLatency(payload, q)
 }
@@ -241,8 +257,11 @@ func (s *Store) PutAt(key string, size units.Bytes, acceleratable bool, q float6
 	if size <= 0 {
 		return 0, 0, fmt.Errorf("objstore: non-positive object size")
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rng := s.stream(q)
 	if old, ok := s.objects[key]; ok && old.Size == size && old.Acceleratable == acceleratable {
-		return s.overwrite(old, q)
+		return s.overwrite(old, q, rng)
 	}
 	obj := &Object{Key: key, Size: size, Acceleratable: acceleratable}
 	var total time.Duration
@@ -263,7 +282,7 @@ func (s *Store) PutAt(key string, size units.Bytes, acceleratable bool, q float6
 			devLat, devEnergy := n.Drive().HostWrite(off, cs)
 			energy += devEnergy
 			lat := rpc.RequestPath(s.cfg.Codec, s.cfg.Stack, cs) +
-				s.fabricLatency(cs, q) + devLat
+				s.fabricLatency(cs, q, rng) + devLat
 			if lat > slowest {
 				slowest = lat
 			}
@@ -275,8 +294,8 @@ func (s *Store) PutAt(key string, size units.Bytes, acceleratable bool, q float6
 	return total, energy, nil
 }
 
-// overwrite re-writes an object in place.
-func (s *Store) overwrite(obj *Object, q float64) (time.Duration, units.Energy, error) {
+// overwrite re-writes an object in place. Callers hold s.mu.
+func (s *Store) overwrite(obj *Object, q float64, rng *sim.RNG) (time.Duration, units.Energy, error) {
 	var total time.Duration
 	var energy units.Energy
 	for _, chunk := range obj.Chunks {
@@ -286,7 +305,7 @@ func (s *Store) overwrite(obj *Object, q float64) (time.Duration, units.Energy, 
 			devLat, devEnergy := n.Drive().HostWrite(rep.Offset, chunk.Size)
 			energy += devEnergy
 			lat := rpc.RequestPath(s.cfg.Codec, s.cfg.Stack, chunk.Size) +
-				s.fabricLatency(chunk.Size, q) + devLat
+				s.fabricLatency(chunk.Size, q, rng) + devLat
 			if lat > slowest {
 				slowest = lat
 			}
@@ -305,10 +324,13 @@ func (s *Store) Put(key string, size units.Bytes, acceleratable bool) (time.Dura
 // GetAt reads an object back to a remote client, returning latency and
 // device energy; a positive q selects the network quantile (else sampled).
 func (s *Store) GetAt(key string, q float64) (time.Duration, units.Energy, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	obj, ok := s.objects[key]
 	if !ok {
 		return 0, 0, fmt.Errorf("objstore: no such key %q", key)
 	}
+	rng := s.stream(q)
 	var total time.Duration
 	var energy units.Energy
 	for _, chunk := range obj.Chunks {
@@ -317,7 +339,7 @@ func (s *Store) GetAt(key string, q float64) (time.Duration, units.Energy, error
 		devLat, devEnergy := n.Drive().HostRead(rep.Offset, chunk.Size)
 		energy += devEnergy
 		total += rpc.RequestPath(s.cfg.Codec, s.cfg.Stack, chunk.Size) +
-			s.fabricLatency(chunk.Size, q) + devLat
+			s.fabricLatency(chunk.Size, q, rng) + devLat
 	}
 	return total, energy, nil
 }
@@ -333,6 +355,8 @@ func (s *Store) Config() Config { return s.cfg }
 
 // Lookup returns the stored object metadata.
 func (s *Store) Lookup(key string) (*Object, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	obj, ok := s.objects[key]
 	return obj, ok
 }
@@ -343,6 +367,13 @@ func (s *Store) Lookup(key string) (*Object, bool) {
 // across drives fall back to conventional execution per Section 5.2,
 // reported as ok=false.
 func (s *Store) DSCSReplica(key string) (node *Node, offset int64, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dscsReplica(key)
+}
+
+// dscsReplica is DSCSReplica without the lock; callers hold s.mu.
+func (s *Store) dscsReplica(key string) (node *Node, offset int64, ok bool) {
 	obj, exists := s.objects[key]
 	if !exists || len(obj.Chunks) == 0 {
 		return nil, 0, false
@@ -375,5 +406,7 @@ func (s *Store) DSCSReplica(key string) (node *Node, offset int64, ok bool) {
 // Delete removes an object's metadata (space reclamation is the FTL's
 // concern and modeled there).
 func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.objects, key)
 }

@@ -163,9 +163,14 @@ type DSAPlatform struct {
 	cache map[string]*cachedRun
 }
 
+// cachedRun is one memoized execution. The once gives singleflight
+// semantics: concurrent cold invocations of the same (graph, batch) key
+// wait for a single compile+simulate instead of each redoing it.
 type cachedRun struct {
+	once   sync.Once
 	lat    time.Duration
 	energy units.Energy
+	err    error
 }
 
 // Name implements Compute.
@@ -192,39 +197,46 @@ func (d *DSAPlatform) TDP() units.Power { return d.Power }
 func (d *DSAPlatform) Price() units.Dollars { return d.Cost }
 
 // Infer implements Compute by compiling and simulating, with memoization
-// (compilation is deterministic for a graph/batch/config triple).
+// and singleflight (compilation is deterministic for a graph/batch/config
+// triple, and the compiled program itself is shared process-wide through
+// the compiler's program cache). Safe for concurrent use.
 func (d *DSAPlatform) Infer(g *model.Graph, batch int) (time.Duration, units.Energy, error) {
 	key := fmt.Sprintf("%s/%d", g.Name, batch)
 	d.mu.Lock()
 	if d.cache == nil {
 		d.cache = make(map[string]*cachedRun)
 	}
-	if c, ok := d.cache[key]; ok {
-		d.mu.Unlock()
-		return d.Launch + c.lat, c.energy, nil
+	c, ok := d.cache[key]
+	if !ok {
+		c = &cachedRun{}
+		d.cache[key] = c
 	}
 	d.mu.Unlock()
 
-	prog, err := compiler.Compile(g, batch, d.Config, compiler.Options{})
-	if err != nil {
-		return 0, 0, err
+	c.once.Do(func() {
+		prog, err := compiler.CompileCached(g, batch, d.Config, compiler.Options{})
+		if err != nil {
+			c.err = err
+			return
+		}
+		sim, err := dsa.New(d.Config)
+		if err != nil {
+			c.err = err
+			return
+		}
+		st, err := sim.Run(prog)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.lat = st.Latency(d.Config.Freq)
+		dynE, _ := sim.Energy(st, d.Node)
+		c.energy = dynE*units.Energy(d.DynScale) + d.Static.Times(c.lat)
+	})
+	if c.err != nil {
+		return 0, 0, c.err
 	}
-	sim, err := dsa.New(d.Config)
-	if err != nil {
-		return 0, 0, err
-	}
-	st, err := sim.Run(prog)
-	if err != nil {
-		return 0, 0, err
-	}
-	lat := st.Latency(d.Config.Freq)
-	dynE, _ := sim.Energy(st, d.Node)
-	energy := dynE*units.Energy(d.DynScale) + d.Static.Times(lat)
-
-	d.mu.Lock()
-	d.cache[key] = &cachedRun{lat: lat, energy: energy}
-	d.mu.Unlock()
-	return d.Launch + lat, energy, nil
+	return d.Launch + c.lat, c.energy, nil
 }
 
 var gen3x16 = pcie.Gen3x16()

@@ -93,6 +93,26 @@ func (q *HybridQueue) removeAt(i int) HybridTask {
 	return t
 }
 
+// TakeWhere removes and returns up to max queued tasks matching the
+// predicate, preserving arrival order. The serving engine uses it to
+// coalesce same-benchmark invocations into one batched execution.
+func (q *HybridQueue) TakeWhere(max int, match func(HybridTask) bool) []HybridTask {
+	if max <= 0 {
+		return nil
+	}
+	var taken []HybridTask
+	kept := q.tasks[:0]
+	for _, t := range q.tasks {
+		if len(taken) < max && match(t) {
+			taken = append(taken, t)
+			continue
+		}
+		kept = append(kept, t)
+	}
+	q.tasks = kept
+	return taken
+}
+
 // FCFSPolicy is the deployed policy: head of line, any class.
 type FCFSPolicy struct{}
 

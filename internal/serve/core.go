@@ -1,0 +1,124 @@
+// core.go is the clock-free half of the serving engine: a pure
+// admission/dispatch state machine over the bounded queue and pluggable
+// scheduling policies of internal/sched. It owns no goroutines and no
+// clocks, which is the point — the live Engine drives it from worker
+// goroutines under a lock, and the at-scale discrete-event simulation
+// (internal/cluster) drives the very same implementation from its virtual
+// clock, so the simulated rack and the real HTTP path share one scheduler.
+package serve
+
+import (
+	"fmt"
+
+	"dscs/internal/sched"
+)
+
+// PoolCore is the scheduling state machine for one worker pool: a bounded
+// HybridQueue drained by a pluggable policy into a fixed set of
+// run-to-completion workers. Not safe for concurrent use on its own; the
+// Engine serializes access, and the simulator is single-threaded.
+type PoolCore struct {
+	queue  *sched.HybridQueue
+	policy sched.Policy
+	class  sched.InstanceClass
+
+	free, total int
+	// running counts tasks currently executing. With batching it can
+	// exceed busy workers: one worker serves every coalesced task.
+	running   int
+	submitted int
+	completed int
+}
+
+// NewPoolCore builds a pool of the given worker count and admission bound.
+// A nil policy defaults to the paper's deployed FCFS.
+func NewPoolCore(workers, queueDepth int, class sched.InstanceClass, policy sched.Policy) (*PoolCore, error) {
+	if workers <= 0 {
+		return nil, fmt.Errorf("serve: non-positive worker count")
+	}
+	q, err := sched.NewHybridQueue(queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = sched.FCFSPolicy{}
+	}
+	return &PoolCore{
+		queue: q, policy: policy, class: class,
+		free: workers, total: workers,
+	}, nil
+}
+
+// Policy returns the pool's scheduling policy.
+func (c *PoolCore) Policy() sched.Policy { return c.policy }
+
+// Submit admits a task; it reports false (drop) at the queue bound.
+func (c *PoolCore) Submit(t sched.HybridTask) bool {
+	if !c.queue.Submit(t) {
+		return false
+	}
+	c.submitted++
+	return true
+}
+
+// Dispatch hands the policy-selected task to a free worker, if both exist.
+func (c *PoolCore) Dispatch() (sched.HybridTask, bool) {
+	if c.free == 0 {
+		return sched.HybridTask{}, false
+	}
+	t, ok := c.policy.Pick(c.queue, c.class)
+	if !ok {
+		return sched.HybridTask{}, false
+	}
+	c.free--
+	c.running++
+	return t, true
+}
+
+// Coalesce removes up to max additional queued tasks matching the
+// predicate and assigns them to the worker that just dispatched — the
+// request-batching step. It must follow a successful Dispatch.
+func (c *PoolCore) Coalesce(max int, match func(sched.HybridTask) bool) []sched.HybridTask {
+	taken := c.queue.TakeWhere(max, match)
+	c.running += len(taken)
+	return taken
+}
+
+// Complete retires n tasks (one execution, n coalesced requests) and frees
+// their worker.
+func (c *PoolCore) Complete(n int) {
+	if c.free < c.total {
+		c.free++
+	}
+	c.running -= n
+	c.completed += n
+}
+
+// QueueLen reports queue occupancy.
+func (c *PoolCore) QueueLen() int { return c.queue.Len() }
+
+// Dropped counts admission rejections.
+func (c *PoolCore) Dropped() int { return c.queue.Dropped() }
+
+// Busy reports occupied workers.
+func (c *PoolCore) Busy() int { return c.total - c.free }
+
+// Workers reports the pool size.
+func (c *PoolCore) Workers() int { return c.total }
+
+// Running reports tasks currently executing (>= Busy with batching).
+func (c *PoolCore) Running() int { return c.running }
+
+// Completed reports retired tasks.
+func (c *PoolCore) Completed() int { return c.completed }
+
+// Conservation checks the bookkeeping invariant: every admitted task is
+// queued, executing, or completed.
+func (c *PoolCore) Conservation() error {
+	accounted := c.queue.Len() + c.running + c.completed
+	if c.submitted != accounted {
+		return fmt.Errorf("serve: conservation violated: %d submitted != %d queued + %d running + %d completed",
+			c.submitted, c.queue.Len(), c.running, c.completed)
+	}
+	return nil
+}

@@ -1,0 +1,452 @@
+// Package serve is the concurrent invocation engine behind the gateway:
+// per-platform worker pools over the shared scheduling core (PoolCore),
+// admission control on a bounded queue with the pluggable policies of
+// internal/sched (FCFS / criticality-aware / DAG-aware), and request
+// batching that coalesces same-benchmark invocations into one DSA execution
+// up to the profitable batch size (Figure 14's regime). The discrete-event
+// at-scale simulation (internal/cluster) drives the same PoolCore, so the
+// simulated rack and the live HTTP path share one scheduler implementation.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscs/internal/faas"
+	"dscs/internal/platform"
+	"dscs/internal/sched"
+	"dscs/internal/workload"
+)
+
+// Engine errors surfaced to callers (the gateway maps them to HTTP codes).
+var (
+	// ErrQueueFull is the admission-control rejection: the platform's
+	// queue is at its bound.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrClosed reports a submit after Close.
+	ErrClosed = errors.New("serve: engine closed")
+)
+
+// DefaultMaxBatch caps request coalescing. Figure 14 shows DSA throughput
+// still improving at batch 8 while batch-1 latency stays the common case;
+// beyond that the latency cost of waiting outweighs occupancy gains for
+// interactive serving.
+const DefaultMaxBatch = 8
+
+// Options tune the engine.
+type Options struct {
+	// Workers is the pool size per platform (default 4).
+	Workers int
+	// QueueDepth bounds each platform's admission queue (default 256).
+	QueueDepth int
+	// Policy selects queued work for free workers (default FCFS, the
+	// paper's deployed policy).
+	Policy sched.Policy
+	// PolicyName resolves a policy by name ("fcfs", "criticality",
+	// "dag-aware") when Policy is nil — the CLI/API-friendly spelling.
+	PolicyName string
+	// MaxBatch caps same-benchmark request coalescing per execution
+	// (default DefaultMaxBatch; 1 disables batching).
+	MaxBatch int
+	// Telemetry receives the engine's metrics; pass the gateway's
+	// registry to surface them on /metrics (default: a fresh registry).
+	Telemetry *sched.Telemetry
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.Policy == nil {
+		o.Policy = sched.FCFSPolicy{}
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = sched.NewTelemetry()
+	}
+	return o
+}
+
+// PolicyByName maps a CLI/API policy name to its implementation.
+func PolicyByName(name string) (sched.Policy, error) {
+	switch name {
+	case "", "fcfs":
+		return sched.FCFSPolicy{}, nil
+	case "criticality":
+		return sched.CriticalityPolicy{}, nil
+	case "dag-aware", "dag":
+		return sched.DAGAwarePolicy{}, nil
+	}
+	return nil, fmt.Errorf("serve: unknown policy %q (try fcfs, criticality, dag-aware)", name)
+}
+
+// PolicyNames lists the accepted PolicyByName inputs.
+func PolicyNames() []string { return []string{"fcfs", "criticality", "dag-aware"} }
+
+// Invocation is one served request with its engine-side telemetry.
+type Invocation struct {
+	Result   faas.Result
+	Platform string
+	// Queued is the time the request waited for a worker.
+	Queued time.Duration
+	// BatchRequests counts the requests coalesced into this execution
+	// (1 = no batching); BatchSize is the combined model batch executed.
+	BatchRequests int
+	BatchSize     int
+}
+
+// outcome is what a worker delivers back to a blocked submitter.
+type outcome struct {
+	res           faas.Result
+	err           error
+	queued        time.Duration
+	batchRequests int
+	batchSize     int
+}
+
+// request is one pending submission.
+type request struct {
+	bench *workload.Benchmark
+	opt   faas.Options
+	enq   time.Time
+	done  chan outcome
+}
+
+// pool is one platform's worker pool: the shared PoolCore plus the
+// goroutine machinery the simulator doesn't need.
+type pool struct {
+	name   string
+	runner *faas.Runner
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	core    *PoolCore
+	pending map[int]*request
+	closed  bool
+}
+
+// Engine is the concurrent serving core. Safe for concurrent use.
+type Engine struct {
+	opt    Options
+	tel    *sched.Telemetry
+	pools  map[string]*pool
+	start  time.Time
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+	once   sync.Once
+}
+
+// NewEngine builds one worker pool per runner (the platform.All lineup in
+// the default environment) and starts its workers.
+func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("serve: no runners")
+	}
+	if opt.Policy == nil && opt.PolicyName != "" {
+		p, err := PolicyByName(opt.PolicyName)
+		if err != nil {
+			return nil, err
+		}
+		opt.Policy = p
+	}
+	opt = opt.withDefaults()
+	e := &Engine{
+		opt:   opt,
+		tel:   opt.Telemetry,
+		pools: make(map[string]*pool, len(runners)),
+		start: time.Now(),
+	}
+	for name, r := range runners {
+		core, err := NewPoolCore(opt.Workers, opt.QueueDepth, classFor(r.Platform), opt.Policy)
+		if err != nil {
+			return nil, err
+		}
+		p := &pool{name: name, runner: r, core: core, pending: make(map[int]*request)}
+		p.cond = sync.NewCond(&p.mu)
+		e.pools[name] = p
+		e.tel.Set("serve_workers{platform="+name+"}", float64(opt.Workers))
+		for i := 0; i < opt.Workers; i++ {
+			e.wg.Add(1)
+			go e.worker(p)
+		}
+	}
+	return e, nil
+}
+
+// classFor maps a platform to its scheduling class: the in-storage DSA pool
+// is the scarce accelerated capacity the policies steer work toward.
+func classFor(c platform.Compute) sched.InstanceClass {
+	if c.Class() == platform.InStorageDSA {
+		return sched.ClassDSCS
+	}
+	return sched.ClassCPU
+}
+
+// Telemetry returns the engine's metric registry.
+func (e *Engine) Telemetry() *sched.Telemetry { return e.tel }
+
+// Platforms lists the pools, sorted.
+func (e *Engine) Platforms() []string {
+	names := make([]string, 0, len(e.pools))
+	for n := range e.pools {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Has reports whether a platform pool exists.
+func (e *Engine) Has(platformName string) bool {
+	_, ok := e.pools[platformName]
+	return ok
+}
+
+// QueueLen reports one platform's queue occupancy (0 for unknown names).
+func (e *Engine) QueueLen(platformName string) int {
+	p, ok := e.pools[platformName]
+	if !ok {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.QueueLen()
+}
+
+// Dropped totals admission rejections across pools.
+func (e *Engine) Dropped() int {
+	total := 0
+	for _, p := range e.pools {
+		p.mu.Lock()
+		total += p.core.Dropped()
+		p.mu.Unlock()
+	}
+	return total
+}
+
+// Conservation checks every pool's bookkeeping invariant.
+func (e *Engine) Conservation() error {
+	for _, p := range e.pools {
+		p.mu.Lock()
+		err := p.core.Conservation()
+		p.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%s pool: %w", p.name, err)
+		}
+	}
+	return nil
+}
+
+// reqBatch is the model batch one request asks for.
+func reqBatch(o faas.Options) int {
+	if o.Batch < 1 {
+		return 1
+	}
+	return o.Batch
+}
+
+// coalescable reports whether two requests may share one execution: same
+// cold-start behavior, same network quantile, same chain shape. The
+// benchmark match is checked against the queue task's payload.
+func coalescable(a, b faas.Options) bool {
+	return a.Cold == b.Cold && a.Quantile == b.Quantile &&
+		a.ExtraAccelFuncs == b.ExtraAccelFuncs
+}
+
+// Submit enqueues one invocation and blocks until a worker serves it (or
+// admission control rejects it with ErrQueueFull). Safe for concurrent use
+// from any number of goroutines — the request path has no global lock.
+func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Options) (Invocation, error) {
+	p, ok := e.pools[platformName]
+	if !ok {
+		return Invocation{}, fmt.Errorf("serve: unknown platform %q", platformName)
+	}
+	if b == nil {
+		return Invocation{}, fmt.Errorf("serve: nil benchmark")
+	}
+	cpuSvc, dscsSvc, accel := estimate(b)
+	task := sched.HybridTask{
+		ID:          int(e.nextID.Add(1)),
+		Arrived:     time.Since(e.start),
+		Payload:     b.Slug,
+		CPUService:  cpuSvc,
+		DSCSService: dscsSvc,
+		AccelFuncs:  accel,
+	}
+	req := &request{bench: b, opt: opt, enq: time.Now(), done: make(chan outcome, 1)}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return Invocation{}, ErrClosed
+	}
+	if !p.core.Submit(task) {
+		depth := p.core.QueueLen()
+		p.mu.Unlock()
+		e.tel.Inc("serve_dropped_total", 1)
+		e.tel.Inc("serve_dropped_total{platform="+platformName+"}", 1)
+		e.tel.Set("serve_queue_depth{platform="+platformName+"}", float64(depth))
+		return Invocation{}, ErrQueueFull
+	}
+	p.pending[task.ID] = req
+	e.tel.Inc("serve_submitted_total", 1)
+	e.tel.Set("serve_queue_depth{platform="+platformName+"}", float64(p.core.QueueLen()))
+	p.cond.Signal()
+	p.mu.Unlock()
+
+	out := <-req.done
+	if out.err != nil {
+		return Invocation{}, out.err
+	}
+	return Invocation{
+		Result:        out.res,
+		Platform:      platformName,
+		Queued:        out.queued,
+		BatchRequests: out.batchRequests,
+		BatchSize:     out.batchSize,
+	}, nil
+}
+
+// collectBatch resolves a dispatched task to its request and coalesces
+// compatible same-benchmark queued requests into the execution, up to
+// MaxBatch combined model batch. It returns the requests (lead first) and
+// the combined batch. Callers hold p.mu.
+func (e *Engine) collectBatch(p *pool, task sched.HybridTask) ([]*request, int) {
+	lead := p.pending[task.ID]
+	delete(p.pending, task.ID)
+	reqs := []*request{lead}
+	if budget := e.opt.MaxBatch - reqBatch(lead.opt); budget > 0 {
+		taken := p.core.Coalesce(budget, func(t sched.HybridTask) bool {
+			r := p.pending[t.ID]
+			if r == nil || t.Payload != task.Payload || !coalescable(r.opt, lead.opt) {
+				return false
+			}
+			if reqBatch(r.opt) > budget {
+				return false
+			}
+			budget -= reqBatch(r.opt)
+			return true
+		})
+		for _, t := range taken {
+			reqs = append(reqs, p.pending[t.ID])
+			delete(p.pending, t.ID)
+		}
+	}
+	batch := 0
+	for _, r := range reqs {
+		batch += reqBatch(r.opt)
+	}
+	return reqs, batch
+}
+
+// worker is one pool goroutine: dispatch via the shared core, coalesce a
+// batch, execute run-to-completion, deliver outcomes.
+func (e *Engine) worker(p *pool) {
+	defer e.wg.Done()
+	p.mu.Lock()
+	for {
+		task, ok := p.core.Dispatch()
+		if !ok {
+			if p.closed {
+				p.mu.Unlock()
+				return
+			}
+			p.cond.Wait()
+			continue
+		}
+		reqs, batch := e.collectBatch(p, task)
+		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+		p.mu.Unlock()
+
+		dispatched := time.Now()
+		lead := reqs[0]
+		opt := lead.opt
+		opt.Batch = batch
+		res, err := p.runner.Invoke(lead.bench, opt)
+
+		p.mu.Lock()
+		p.core.Complete(len(reqs))
+		p.mu.Unlock()
+		e.tel.Inc("serve_batches_total", 1)
+		e.tel.Inc("serve_batched_requests_total", float64(len(reqs)))
+		e.tel.Set("serve_batch_occupancy", float64(batch))
+		e.tel.Inc("serve_completed_total", float64(len(reqs)))
+		for _, r := range reqs {
+			wait := dispatched.Sub(r.enq)
+			e.tel.Inc("serve_wait_ms_total", float64(wait)/float64(time.Millisecond))
+			r.done <- outcome{res: res, err: err, queued: wait,
+				batchRequests: len(reqs), batchSize: batch}
+		}
+		p.mu.Lock()
+	}
+}
+
+// Close drains every queue, stops the workers, and fails any submission
+// racing the shutdown. Idempotent.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		for _, p := range e.pools {
+			p.mu.Lock()
+			p.closed = true
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		}
+		e.wg.Wait()
+		// Workers exit only with empty queues, so nothing pends here
+		// unless a submit raced the close; fail those explicitly.
+		for _, p := range e.pools {
+			p.mu.Lock()
+			for id, r := range p.pending {
+				delete(p.pending, id)
+				r.done <- outcome{err: ErrClosed}
+			}
+			p.mu.Unlock()
+		}
+	})
+}
+
+// serviceEstimate is a benchmark's fixed pricing for the scheduling
+// policies.
+type serviceEstimate struct {
+	cpu, dscs  time.Duration
+	accelFuncs int
+}
+
+// estimateCache memoizes estimates per benchmark slug: deriving them walks
+// the model graphs and rebuilds the application chain, which is pure
+// per-benchmark work that must not repeat on every Submit.
+var estimateCache sync.Map // slug -> serviceEstimate
+
+// estimate prices a benchmark for the scheduling policies: expected service
+// time on the CPU baseline and on the in-storage DSA (effective-throughput
+// rooflines; only the relative order matters to the policies), plus the
+// acceleratable-function count of its chain for DAG-aware scheduling.
+func estimate(b *workload.Benchmark) (cpu, dscs time.Duration, accelFuncs int) {
+	if v, ok := estimateCache.Load(b.Slug); ok {
+		e := v.(serviceEstimate)
+		return e.cpu, e.dscs, e.accelFuncs
+	}
+	const (
+		cpuFLOPS  = 200e9 // Baseline (CPU) effective throughput
+		dscsFLOPS = 26e12 // 128x128 DSA at 1 GHz, utilization-derated
+	)
+	flops := float64(b.Preproc.FLOPs() + b.Model.FLOPs())
+	e := serviceEstimate{
+		cpu:  time.Duration(flops / cpuFLOPS * float64(time.Second)),
+		dscs: time.Duration(flops / dscsFLOPS * float64(time.Second)),
+	}
+	if app, err := faas.AppFor(b); err == nil {
+		e.accelFuncs = len(app.AcceleratedPrefix())
+	}
+	estimateCache.Store(b.Slug, e)
+	return e.cpu, e.dscs, e.accelFuncs
+}

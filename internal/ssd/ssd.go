@@ -6,6 +6,7 @@ package ssd
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"dscs/internal/flash"
@@ -62,11 +63,14 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Drive is one SSD instance.
+// Drive is one SSD instance. It is safe for concurrent use: one lock
+// serializes command processing, as a real controller does per queue pair
+// (the flash array's FTL state is only reachable through it).
 type Drive struct {
 	cfg   Config
 	array *flash.Array
 
+	mu                  sync.Mutex
 	reads, writes       int64
 	bytesRead, bytesOut units.Bytes
 }
@@ -114,6 +118,8 @@ func (d *Drive) ecc(n units.Bytes) time.Duration {
 // read of n bytes at a logical offset: command path + flash + ECC + staging
 // + host PCIe transfer.
 func (d *Drive) HostRead(offset int64, n units.Bytes) (time.Duration, units.Energy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	flashLat, flashEnergy := d.array.ReadBytes(offset, n)
 	lat := d.cfg.NVMeSubmission + flashLat + d.ecc(n) +
 		d.cfg.StagingDRAMBW.TransferTime(n) + d.cfg.HostLink.TransferTime(n)
@@ -130,6 +136,8 @@ func (d *Drive) HostRead(offset int64, n units.Bytes) (time.Duration, units.Ener
 // unless the device is saturated — we charge the staging path plus one
 // program wave for durability, matching datacenter fsync'd writes.
 func (d *Drive) HostWrite(offset int64, n units.Bytes) (time.Duration, units.Energy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	progLat, progEnergy := d.array.WriteBytes(offset, n)
 	lat := d.cfg.NVMeSubmission + d.cfg.HostLink.TransferTime(n) +
 		d.cfg.StagingDRAMBW.TransferTime(n) + d.ecc(n) + progLat
@@ -143,6 +151,8 @@ func (d *Drive) HostWrite(offset int64, n units.Bytes) (time.Duration, units.Ene
 // InternalRead is the device-side read (no host link): flash + ECC +
 // staging into drive DRAM. The CSD's P2P path is built on this.
 func (d *Drive) InternalRead(offset int64, n units.Bytes) (time.Duration, units.Energy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	flashLat, flashEnergy := d.array.ReadBytes(offset, n)
 	lat := flashLat + d.ecc(n) + d.cfg.StagingDRAMBW.TransferTime(n)
 	d.reads++
@@ -152,6 +162,8 @@ func (d *Drive) InternalRead(offset int64, n units.Bytes) (time.Duration, units.
 
 // InternalWrite is the device-side write used by the P2P result path.
 func (d *Drive) InternalWrite(offset int64, n units.Bytes) (time.Duration, units.Energy) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	progLat, progEnergy := d.array.WriteBytes(offset, n)
 	lat := d.cfg.StagingDRAMBW.TransferTime(n) + d.ecc(n) + progLat
 	d.writes++
@@ -161,5 +173,7 @@ func (d *Drive) InternalWrite(offset int64, n units.Bytes) (time.Duration, units
 
 // Counters reports operation counts and byte totals.
 func (d *Drive) Counters() (reads, writes int64, bytesRead, bytesWritten units.Bytes) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.reads, d.writes, d.bytesRead, d.bytesOut
 }
