@@ -13,7 +13,11 @@
 // Pass -deploy-all to pre-deploy the whole benchmark suite. The serving
 // engine is tuned with -workers (pool size per platform), -policy (fcfs,
 // criticality, dag-aware), -queue-depth (admission bound; a full queue
-// returns HTTP 429), and -max-batch (same-benchmark request coalescing).
+// returns HTTP 429), -max-batch (same-benchmark request coalescing),
+// -batch-linger (how long a dispatch may wait for its batch to fill
+// toward -max-batch), and -spillover-threshold (DSCS queue depth beyond
+// which submissions reroute to the CPU pool; watch serve_spillover_total
+// on /metrics).
 package main
 
 import (
@@ -42,6 +46,8 @@ func main() {
 		policy     = flag.String("policy", "fcfs", "scheduling policy: "+strings.Join(serve.PolicyNames(), ", "))
 		queueDepth = flag.Int("queue-depth", 256, "admission queue bound per platform")
 		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max same-benchmark requests coalesced per execution")
+		linger     = flag.Duration("batch-linger", 0, "how long a dispatch may wait for its batch to fill toward -max-batch (0 disables)")
+		spillover  = flag.Int("spillover-threshold", 0, "DSCS queue depth at which submissions spill to the CPU pool (0 disables)")
 	)
 	flag.Parse()
 
@@ -51,10 +57,12 @@ func main() {
 	}
 	gw, err := gateway.NewWithOptions(env.Runners, "DSCS-Serverless", "Baseline (CPU)",
 		serve.Options{
-			Workers:    *workers,
-			PolicyName: *policy,
-			QueueDepth: *queueDepth,
-			MaxBatch:   *maxBatch,
+			Workers:            *workers,
+			PolicyName:         *policy,
+			QueueDepth:         *queueDepth,
+			MaxBatch:           *maxBatch,
+			BatchLinger:        *linger,
+			SpilloverThreshold: *spillover,
 		})
 	if err != nil {
 		fail(err)
@@ -73,8 +81,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d)\n",
-		*addr, *workers, *policy, *queueDepth, *maxBatch)
+	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, spillover %d)\n",
+		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *spillover)
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")

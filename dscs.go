@@ -75,7 +75,7 @@ type (
 	// and same-benchmark request batching.
 	Server = serve.Engine
 	// ServeOptions tune the serving engine (workers, queue depth, policy,
-	// batching).
+	// batching and its linger deadline, DSCS-to-CPU spillover).
 	ServeOptions = serve.Options
 	// ServedInvocation is one engine-served request with its queueing and
 	// batching telemetry.

@@ -35,6 +35,14 @@ type Config struct {
 	Policy sched.Policy
 	// SampleEvery sets the telemetry sampling period for the series.
 	SampleEvery time.Duration
+	// MaxBatch coalesces same-benchmark queued requests into one
+	// execution, up to this count (0 or 1 disables batching).
+	MaxBatch int
+	// BatchLinger lets a dispatching instance hold its batch open until
+	// the serve.BatchWindow deadline so later same-benchmark arrivals can
+	// fill it toward MaxBatch — the same deadline-aware batching decision
+	// the live engine runs, exercised here from the virtual clock.
+	BatchLinger time.Duration
 }
 
 // PaperConfig returns the paper's at-scale parameters.
@@ -54,6 +62,8 @@ type Stats struct {
 
 	Completed int
 	Dropped   int
+	// Batches counts executions; with batching enabled it is <= Completed.
+	Batches int
 	// LatencySample holds every completed request's wall-clock latency.
 	LatencySample *metrics.Sample
 }
@@ -83,22 +93,86 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	var bucketN int
 
 	var pump func()
-	pump = func() {
-		for {
-			task, ok := core.Dispatch()
-			if !ok {
-				return
-			}
-			service := cfg.Service(task.Payload, rng)
-			arrived := task.Arrived
-			engine.After(service, func() {
-				core.Complete(1)
-				lat := engine.Now() - arrived
+	// execute retires a gathered batch after one service time: the lead's
+	// sample prices the whole coalesced execution, as on the live engine.
+	execute := func(tasks []sched.HybridTask) {
+		service := cfg.Service(tasks[0].Payload, rng)
+		engine.After(service, func() {
+			core.Complete(len(tasks))
+			st.Batches++
+			for _, t := range tasks {
+				lat := engine.Now() - t.Arrived
 				st.Completed++
 				st.LatencySample.Add(lat)
 				bucketSum += lat
 				bucketN++
-				pump()
+			}
+			pump()
+		})
+	}
+
+	// window is one instance's open linger window: the batch it holds and
+	// the BatchWindow deciding whether to keep waiting. Arrivals landing
+	// while a window is open coalesce into it immediately and may close it
+	// early (exactly the live engine's per-slice re-gather); otherwise the
+	// deadline event fires it.
+	type window struct {
+		w     serve.BatchWindow
+		batch []sched.HybridTask
+		fired bool
+	}
+	var open []*window
+	fire := func(win *window) {
+		if win.fired {
+			return
+		}
+		win.fired = true
+		execute(win.batch)
+	}
+	// gatherInto pulls queued same-benchmark tasks into the window and
+	// fires it when full.
+	gatherInto := func(win *window, now time.Duration) {
+		late := core.Coalesce(win.w.Target-win.w.Size, func(t sched.HybridTask) bool {
+			return t.Payload == win.batch[0].Payload
+		})
+		win.w.Add(len(late))
+		win.batch = append(win.batch, late...)
+		if !win.w.Open(now) {
+			fire(win)
+		}
+	}
+
+	pump = func() {
+		for {
+			now := engine.Now()
+			task, ok := core.Dispatch(now)
+			if !ok {
+				return
+			}
+			if cfg.MaxBatch <= 1 {
+				execute([]sched.HybridTask{task})
+				continue
+			}
+			batch := append([]sched.HybridTask{task},
+				core.Coalesce(cfg.MaxBatch-1, func(t sched.HybridTask) bool {
+					return t.Payload == task.Payload
+				})...)
+			win := &window{
+				w:     serve.NewBatchWindow(now, cfg.BatchLinger, cfg.MaxBatch, len(batch)),
+				batch: batch,
+			}
+			if !win.w.Open(now) {
+				fire(win)
+				continue
+			}
+			// Deadline-aware linger: the instance stays busy holding the
+			// batch open until it fills or the window closes.
+			open = append(open, win)
+			engine.At(win.w.Deadline, func() {
+				if !win.fired {
+					gatherInto(win, engine.Now())
+					fire(win)
+				}
 			})
 		}
 	}
@@ -106,7 +180,22 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
-			core.Submit(sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark})
+			admitted := core.Submit(sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark})
+			if admitted && len(open) > 0 {
+				// Offer the arrival to open windows before idle instances
+				// see it — the engine's lingering workers do the same.
+				now := engine.Now()
+				kept := open[:0]
+				for _, win := range open {
+					if !win.fired && win.w.Open(now) {
+						gatherInto(win, now)
+					}
+					if !win.fired {
+						kept = append(kept, win)
+					}
+				}
+				open = kept
+			}
 			pump()
 		})
 	}

@@ -9,6 +9,93 @@ import (
 	"dscs/internal/workload"
 )
 
+// TestLingerBatchesFromVirtualClock exercises the deadline-aware batching
+// path from the discrete-event clock: one instance, two same-benchmark
+// arrivals 1s apart, and a 2s linger window. The first dispatch must hold
+// its batch open past the second arrival and serve both in one execution —
+// the same serve.BatchWindow decision the live engine runs on wall time.
+func TestLingerBatchesFromVirtualClock(t *testing.T) {
+	tr := &trace.Trace{
+		Duration: 10 * time.Second,
+		Requests: []trace.Request{
+			{ID: 1, At: 0, Benchmark: "chatbot"},
+			{ID: 2, At: time.Second, Benchmark: "chatbot"},
+			{ID: 3, At: 90 * time.Second, Benchmark: "moderation"}, // different benchmark, long after
+		},
+	}
+	cfg := Config{
+		Instances: 1, QueueDepth: 10,
+		Service:     flatService(10 * time.Second),
+		SampleEvery: time.Minute,
+		MaxBatch:    4, BatchLinger: 2 * time.Second,
+	}
+	st, err := Run(tr, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Completed != 3 || st.Dropped != 0 {
+		t.Fatalf("completed %d dropped %d", st.Completed, st.Dropped)
+	}
+	if st.Batches != 2 {
+		t.Fatalf("executions = %d, want 2 (chatbot pair lingered into one batch)", st.Batches)
+	}
+	// The lead waits out the full 2s window before its 10s service, so the
+	// batch completes at 12s: latencies 12s (lead), 11s (follower), and
+	// 10s for the solo request at 90s. Max is the lead's 12s.
+	if max := st.LatencySample.Percentile(1.0); max != 12*time.Second {
+		t.Fatalf("max latency = %v, want 12s (2s linger + 10s service)", max)
+	}
+
+	// Without a linger window the two arrivals serve separately: the
+	// second queues behind a 10s execution.
+	cfg.BatchLinger = 0
+	st2, err := Run(tr, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Batches != 3 {
+		t.Fatalf("executions without linger = %d, want 3", st2.Batches)
+	}
+
+	// A window that fills must close early, exactly like the engine's
+	// linger loop: with MaxBatch 2 the second arrival at 1s completes the
+	// batch, so execution starts at 1s — not at the 2s deadline — and the
+	// lead's latency is 11s, not 12s. (A two-request trace: a solo
+	// request would legitimately wait out its whole window.)
+	pair := &trace.Trace{
+		Duration: 10 * time.Second,
+		Requests: []trace.Request{
+			{ID: 1, At: 0, Benchmark: "chatbot"},
+			{ID: 2, At: time.Second, Benchmark: "chatbot"},
+		},
+	}
+	cfg.MaxBatch, cfg.BatchLinger = 2, 2*time.Second
+	st3, err := Run(pair, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Batches != 1 {
+		t.Fatalf("executions with early-close = %d, want 1", st3.Batches)
+	}
+	if max := st3.LatencySample.Percentile(1.0); max != 11*time.Second {
+		t.Fatalf("max latency = %v, want 11s (window closed early when full)", max)
+	}
+}
+
+// TestBatchingDisabledMatchesSeed pins the default path: MaxBatch unset
+// must leave the Figure 13 behavior untouched, batch counting included.
+func TestBatchingDisabledMatchesSeed(t *testing.T) {
+	tr := smallTrace(t, 50)
+	st, err := Run(tr, Config{Instances: 50, QueueDepth: 1000,
+		Service: flatService(100 * time.Millisecond), SampleEvery: time.Second}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != st.Completed {
+		t.Fatalf("unbatched run: %d executions != %d completions", st.Batches, st.Completed)
+	}
+}
+
 func flatService(d time.Duration) ServiceModel {
 	return func(string, *sim.RNG) time.Duration { return d }
 }

@@ -1,6 +1,8 @@
 // hybrid.go replays traces against a heterogeneous pool (CPU + DSCS
 // instances) under a pluggable scheduling policy — the evaluation harness
-// for the paper's Section 5.3 scheduling future-work.
+// for the paper's Section 5.3 scheduling future-work. The pool accounting
+// is serve.HybridCore, the same two-class scheduling core the live engine's
+// pools are built on, driven here from the virtual clock.
 package cluster
 
 import (
@@ -9,6 +11,7 @@ import (
 
 	"dscs/internal/metrics"
 	"dscs/internal/sched"
+	"dscs/internal/serve"
 	"dscs/internal/sim"
 	"dscs/internal/trace"
 )
@@ -50,8 +53,8 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	}
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(seed)
-	scheduler, err := sched.NewHybrid(cfg.CPUInstances, cfg.DSCSInstances,
-		cfg.QueueDepth, cfg.Policy, sched.NewTelemetry())
+	core, err := serve.NewHybridCore(cfg.CPUInstances, cfg.DSCSInstances,
+		cfg.QueueDepth, cfg.Policy)
 	if err != nil {
 		return nil, err
 	}
@@ -79,7 +82,7 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	var pump func()
 	pump = func() {
 		for {
-			task, class, ok := scheduler.Dispatch()
+			task, class, ok := core.Dispatch(engine.Now())
 			if !ok {
 				return
 			}
@@ -88,7 +91,7 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 			}
 			arrived := task.Arrived
 			engine.After(service(task, class), func() {
-				scheduler.Complete(class)
+				core.Complete(class, 1)
 				st.Completed++
 				st.Latency.Add(engine.Now() - arrived)
 				pump()
@@ -100,7 +103,7 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 		req := r
 		engine.At(req.At, func() {
 			cpu, dscs, accel := cfg.Service(req.Benchmark)
-			scheduler.Submit(sched.HybridTask{
+			core.Submit(sched.HybridTask{
 				ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark,
 				CPUService: cpu, DSCSService: dscs, AccelFuncs: accel,
 			})
@@ -111,13 +114,13 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	for t := time.Duration(0); t <= horizon; t += cfg.SampleEvery {
 		at := t
 		engine.At(at, func() {
-			st.Queue.Add(at, float64(scheduler.QueueLen()))
+			st.Queue.Add(at, float64(core.QueueLen()))
 		})
 	}
 
 	engine.Run()
-	st.Dropped = scheduler.Dropped()
-	if err := scheduler.Conservation(); err != nil {
+	st.Dropped = core.Dropped()
+	if err := core.Conservation(); err != nil {
 		return nil, err
 	}
 	if st.Completed+st.Dropped != len(tr.Requests) {

@@ -93,6 +93,36 @@ func TestHybridValidation(t *testing.T) {
 	}
 }
 
+// TestHybridPoolCoreEquivalence pins the serve.HybridCore rewire to the
+// pre-refactor behavior: the retired sched.HybridScheduler path (same
+// trace seed 21, run seed 5, 28 CPU + 6 DSCS pool, the post-aging-fix
+// policies) produced exactly these completed/dropped/OnDSCS counts and
+// mean latencies. The shared-core path must reproduce them bit for bit.
+func TestHybridPoolCoreEquivalence(t *testing.T) {
+	golden := map[string]struct {
+		completed, dropped, onDSCS int
+		meanMS                     float64
+	}{
+		"fcfs":        {33819, 0, 17591, 2882.010275},
+		"criticality": {33819, 0, 14249, 2636.806996},
+		"dag-aware":   {33819, 0, 14249, 2636.806996},
+	}
+	tr := hybridTrace(t)
+	for _, p := range []sched.Policy{sched.FCFSPolicy{}, sched.CriticalityPolicy{}, sched.DAGAwarePolicy{}} {
+		st := runPolicy(t, tr, p)
+		want := golden[p.Name()]
+		if st.Completed != want.completed || st.Dropped != want.dropped || st.OnDSCS != want.onDSCS {
+			t.Errorf("%s: completed/dropped/onDSCS = %d/%d/%d, pre-refactor %d/%d/%d",
+				p.Name(), st.Completed, st.Dropped, st.OnDSCS,
+				want.completed, want.dropped, want.onDSCS)
+		}
+		meanMS := float64(st.Latency.Mean()) / float64(time.Millisecond)
+		if diff := meanMS - want.meanMS; diff < -1e-3 || diff > 1e-3 {
+			t.Errorf("%s: mean latency %.6fms, pre-refactor %.6fms", p.Name(), meanMS, want.meanMS)
+		}
+	}
+}
+
 func TestHybridDeterminism(t *testing.T) {
 	tr := hybridTrace(t)
 	a := runPolicy(t, tr, sched.DAGAwarePolicy{})

@@ -554,6 +554,31 @@ func chainGraphs(b *workload.Benchmark, extras int) []*model.Graph {
 	return graphs
 }
 
+// DriveFor reports the DSCS-Drive an invocation of b at the given batch
+// size would execute on, placing the input object first if needed exactly
+// as Invoke would (placement is keyed by slug and batch). ok is false when
+// the platform is not in-storage or no healthy DSCS replica holds the
+// input — Invoke then falls back to conventional execution and occupies no
+// drive. The serving engine uses this to acquire the right physical drive
+// for the run-to-completion window.
+func (r *Runner) DriveFor(b *workload.Benchmark, batch int) (*csd.Drive, bool) {
+	if r.Platform.Class() != platform.InStorageDSA {
+		return nil, false
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	inputKey, err := r.ensureInput(b, b.InputBytes*units.Bytes(batch), batch)
+	if err != nil {
+		return nil, false
+	}
+	node, _, ok := r.Store.DSCSReplicaHealthy(inputKey)
+	if !ok || node.CSD == nil {
+		return nil, false
+	}
+	return node.CSD, true
+}
+
 // Describe summarizes a runner for diagnostics.
 func (r *Runner) Describe() string {
 	return fmt.Sprintf("runner(platform=%s, stack=%v)", r.Platform.Name(), r.Stack.PerFunction())

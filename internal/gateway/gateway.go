@@ -71,6 +71,11 @@ func NewWithOptions(runners map[string]*faas.Runner, accelRunner, plainRunner st
 		tel = sched.NewTelemetry()
 		opt.Telemetry = tel
 	}
+	// DSCS spillover lands on the gateway's plain (CPU) pool unless the
+	// caller picked a target explicitly.
+	if opt.SpilloverThreshold > 0 && opt.SpilloverTo == "" {
+		opt.SpilloverTo = plainRunner
+	}
 	engine, err := serve.NewEngine(runners, opt)
 	if err != nil {
 		return nil, err

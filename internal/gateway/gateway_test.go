@@ -10,6 +10,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"dscs/internal/csd"
 	"dscs/internal/faas"
@@ -243,6 +244,61 @@ func TestMetricsAndHealth(t *testing.T) {
 		t.Errorf("health status = %d", resp.StatusCode)
 	}
 	resp.Body.Close()
+}
+
+// TestSpilloverAndLingerObservable exercises the dscsgate tuning surface:
+// with -spillover-threshold and -batch-linger set, /metrics must expose
+// serve_spillover_total (spillover lands on the gateway's plain pool by
+// default) and the per-platform serve_batch_occupancy gauge.
+func TestSpilloverAndLingerObservable(t *testing.T) {
+	g := testGatewayWithOptions(t, 29, serve.Options{
+		Workers: 1, QueueDepth: 64, MaxBatch: 8,
+		SpilloverThreshold: 1,
+		BatchLinger:        2 * time.Millisecond,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	deployApp(t, srv, "asset-damage")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/function/asset-damage", "application/json",
+				strings.NewReader(`{"quantile":0.5}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("invoke status = %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	if !strings.Contains(text, "serve_spillover_total") {
+		t.Errorf("metrics missing serve_spillover_total:\n%s", text)
+	}
+	if !strings.Contains(text, "serve_batch_occupancy{platform=") {
+		t.Errorf("metrics missing per-platform serve_batch_occupancy:\n%s", text)
+	}
+	if strings.Contains(text, "serve_batch_occupancy ") {
+		t.Errorf("unlabeled serve_batch_occupancy gauge present:\n%s", text)
+	}
+	if err := g.Engine().Conservation(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestNewValidation(t *testing.T) {

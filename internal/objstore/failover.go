@@ -72,7 +72,7 @@ func (s *Store) GetWithFailover(key string, q float64) (time.Duration, units.Ene
 				total += retryPenalty
 				continue
 			}
-			devLat, devEnergy := n.Drive().HostRead(rep.Offset, chunk.Size)
+			devLat, devEnergy := n.hostRead(rep.Offset, chunk.Size)
 			energy += devEnergy
 			total += requestPathCost(s.cfg, chunk.Size) +
 				s.fabricLatency(chunk.Size, q, rng) + devLat

@@ -51,6 +51,25 @@ func (n *Node) Drive() *ssd.Drive {
 	return n.SSD
 }
 
+// hostRead serves a conventional host read. On a DSCS-Drive it takes the
+// arbitration-aware path: while the in-storage DSA is held (the serving
+// engine acquires it for the execution), the shared flash channels derate
+// the read by csd.ArbitrationPenalty (Section 5.2).
+func (n *Node) hostRead(offset int64, size units.Bytes) (time.Duration, units.Energy) {
+	if n.Kind == DSCSDrive {
+		return n.CSD.HostReadConcurrent(offset, size)
+	}
+	return n.SSD.HostRead(offset, size)
+}
+
+// hostWrite is the write-side analogue of hostRead.
+func (n *Node) hostWrite(offset int64, size units.Bytes) (time.Duration, units.Energy) {
+	if n.Kind == DSCSDrive {
+		return n.CSD.HostWriteConcurrent(offset, size)
+	}
+	return n.SSD.HostWrite(offset, size)
+}
+
 // Replica locates one copy of a chunk.
 type Replica struct {
 	NodeID string
@@ -279,7 +298,7 @@ func (s *Store) PutAt(key string, size units.Bytes, acceleratable bool, q float6
 			off := n.nextOffset
 			n.nextOffset += int64(s.cfg.ChunkSize)
 			chunk.Replicas = append(chunk.Replicas, Replica{NodeID: n.ID, Offset: off})
-			devLat, devEnergy := n.Drive().HostWrite(off, cs)
+			devLat, devEnergy := n.hostWrite(off, cs)
 			energy += devEnergy
 			lat := rpc.RequestPath(s.cfg.Codec, s.cfg.Stack, cs) +
 				s.fabricLatency(cs, q, rng) + devLat
@@ -302,7 +321,7 @@ func (s *Store) overwrite(obj *Object, q float64, rng *sim.RNG) (time.Duration, 
 		var slowest time.Duration
 		for _, rep := range chunk.Replicas {
 			n := s.byID[rep.NodeID]
-			devLat, devEnergy := n.Drive().HostWrite(rep.Offset, chunk.Size)
+			devLat, devEnergy := n.hostWrite(rep.Offset, chunk.Size)
 			energy += devEnergy
 			lat := rpc.RequestPath(s.cfg.Codec, s.cfg.Stack, chunk.Size) +
 				s.fabricLatency(chunk.Size, q, rng) + devLat
@@ -336,7 +355,7 @@ func (s *Store) GetAt(key string, q float64) (time.Duration, units.Energy, error
 	for _, chunk := range obj.Chunks {
 		rep := chunk.Replicas[int(hashKey(key, chunk.Index)%uint64(len(chunk.Replicas)))]
 		n := s.byID[rep.NodeID]
-		devLat, devEnergy := n.Drive().HostRead(rep.Offset, chunk.Size)
+		devLat, devEnergy := n.hostRead(rep.Offset, chunk.Size)
 		energy += devEnergy
 		total += rpc.RequestPath(s.cfg.Codec, s.cfg.Stack, chunk.Size) +
 			s.fabricLatency(chunk.Size, q, rng) + devLat

@@ -47,12 +47,46 @@ type HybridTask struct {
 	AccelFuncs int
 }
 
+// Service is the expected service time on the given instance class.
+func (t HybridTask) Service(class InstanceClass) time.Duration {
+	if class == ClassDSCS {
+		return t.DSCSService
+	}
+	return t.CPUService
+}
+
 // Policy selects which queued task a freed instance should run.
 type Policy interface {
 	Name() string
 	// Pick removes and returns the task the given instance class should
-	// run next; ok is false when the queue has nothing for it.
-	Pick(q *HybridQueue, class InstanceClass) (HybridTask, bool)
+	// run next; ok is false when the queue has nothing for it. now is the
+	// caller's clock (wall time on the live engine, virtual time in the
+	// discrete-event simulation) on the same basis as HybridTask.Arrived;
+	// policies use it to bound how long a task may be passed over.
+	Pick(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTask, bool)
+}
+
+// AgingMultiple bounds starvation under the estimate-ordered policies: once
+// the oldest queued task has waited longer than AgingMultiple times its own
+// expected service time on the picking class, it is scheduled next
+// regardless of the policy's preference. Without this bound the ClassCPU
+// side of CriticalityPolicy/DAGAwarePolicy degenerates to pure
+// shortest-job-first, and a steady stream of short requests starves a long
+// one forever.
+const AgingMultiple = 8
+
+// agedHead returns the oldest queued task when its wait has exceeded the
+// aging bound for the given class. The queue preserves arrival order, so
+// the head is always the oldest.
+func agedHead(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTask, bool) {
+	if q.Len() == 0 {
+		return HybridTask{}, false
+	}
+	head := q.tasks[0]
+	if now-head.Arrived > AgingMultiple*head.Service(class) {
+		return q.removeAt(0), true
+	}
+	return HybridTask{}, false
 }
 
 // HybridQueue is the bounded shared queue.
@@ -82,6 +116,9 @@ func (q *HybridQueue) Submit(t HybridTask) bool {
 
 // Len is the queue occupancy.
 func (q *HybridQueue) Len() int { return len(q.tasks) }
+
+// Full reports whether the next Submit would drop.
+func (q *HybridQueue) Full() bool { return len(q.tasks) >= q.depth }
 
 // Dropped counts rejected tasks.
 func (q *HybridQueue) Dropped() int { return q.dropped }
@@ -120,7 +157,7 @@ type FCFSPolicy struct{}
 func (FCFSPolicy) Name() string { return "fcfs" }
 
 // Pick implements Policy.
-func (FCFSPolicy) Pick(q *HybridQueue, _ InstanceClass) (HybridTask, bool) {
+func (FCFSPolicy) Pick(q *HybridQueue, _ InstanceClass, _ time.Duration) (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false
 	}
@@ -128,16 +165,20 @@ func (FCFSPolicy) Pick(q *HybridQueue, _ InstanceClass) (HybridTask, bool) {
 }
 
 // CriticalityPolicy sends the longest-running work (by CPU-time
-// expectation) to DSCS instances and the shortest to CPUs.
+// expectation) to DSCS instances and the shortest to CPUs, with an
+// arrival-age bound (AgingMultiple) so neither extreme starves.
 type CriticalityPolicy struct{}
 
 // Name implements Policy.
 func (CriticalityPolicy) Name() string { return "criticality" }
 
 // Pick implements Policy.
-func (CriticalityPolicy) Pick(q *HybridQueue, class InstanceClass) (HybridTask, bool) {
+func (CriticalityPolicy) Pick(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false
+	}
+	if t, ok := agedHead(q, class, now); ok {
+		return t, true
 	}
 	best := 0
 	for i := 1; i < q.Len(); i++ {
@@ -155,16 +196,20 @@ func (CriticalityPolicy) Pick(q *HybridQueue, class InstanceClass) (HybridTask, 
 }
 
 // DAGAwarePolicy prioritizes applications with many acceleratable
-// functions for DSCS instances (they amortize the in-storage chain best).
+// functions for DSCS instances (they amortize the in-storage chain best),
+// with the same arrival-age bound as CriticalityPolicy.
 type DAGAwarePolicy struct{}
 
 // Name implements Policy.
 func (DAGAwarePolicy) Name() string { return "dag-aware" }
 
 // Pick implements Policy.
-func (DAGAwarePolicy) Pick(q *HybridQueue, class InstanceClass) (HybridTask, bool) {
+func (DAGAwarePolicy) Pick(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false
+	}
+	if t, ok := agedHead(q, class, now); ok {
+		return t, true
 	}
 	best := 0
 	for i := 1; i < q.Len(); i++ {
@@ -184,108 +229,7 @@ func (DAGAwarePolicy) Pick(q *HybridQueue, class InstanceClass) (HybridTask, boo
 	return q.removeAt(best), true
 }
 
-// HybridScheduler manages the two instance pools over one queue.
-type HybridScheduler struct {
-	queue  *HybridQueue
-	policy Policy
-	tel    *Telemetry
-
-	freeCPU, freeDSCS   int
-	totalCPU, totalDSCS int
-	completed           int
-	submitted           int
-}
-
-// NewHybrid builds a scheduler over the two pools.
-func NewHybrid(cpuInstances, dscsInstances, queueDepth int, policy Policy, tel *Telemetry) (*HybridScheduler, error) {
-	if cpuInstances < 0 || dscsInstances < 0 || cpuInstances+dscsInstances == 0 {
-		return nil, fmt.Errorf("sched: empty hybrid pool")
-	}
-	if policy == nil {
-		policy = FCFSPolicy{}
-	}
-	q, err := NewHybridQueue(queueDepth)
-	if err != nil {
-		return nil, err
-	}
-	if tel == nil {
-		tel = NewTelemetry()
-	}
-	return &HybridScheduler{
-		queue: q, policy: policy, tel: tel,
-		freeCPU: cpuInstances, freeDSCS: dscsInstances,
-		totalCPU: cpuInstances, totalDSCS: dscsInstances,
-	}, nil
-}
-
-// Submit enqueues a task.
-func (s *HybridScheduler) Submit(t HybridTask) bool {
-	ok := s.queue.Submit(t)
-	if ok {
-		s.submitted++
-		s.tel.Inc("sched_submitted_total", 1)
-	} else {
-		s.tel.Inc("sched_dropped_total", 1)
-	}
-	s.tel.Set("sched_queue_depth", float64(s.queue.Len()))
-	return ok
-}
-
-// Dispatch assigns work to a free instance, preferring DSCS capacity (it
-// serves faster). It returns the task, the class it runs on, and whether
-// anything was dispatched.
-func (s *HybridScheduler) Dispatch() (HybridTask, InstanceClass, bool) {
-	if s.freeDSCS > 0 {
-		if t, ok := s.policy.Pick(s.queue, ClassDSCS); ok {
-			s.freeDSCS--
-			s.tel.Set("sched_queue_depth", float64(s.queue.Len()))
-			return t, ClassDSCS, true
-		}
-	}
-	if s.freeCPU > 0 {
-		if t, ok := s.policy.Pick(s.queue, ClassCPU); ok {
-			s.freeCPU--
-			s.tel.Set("sched_queue_depth", float64(s.queue.Len()))
-			return t, ClassCPU, true
-		}
-	}
-	return HybridTask{}, ClassCPU, false
-}
-
-// Complete releases an instance of the given class.
-func (s *HybridScheduler) Complete(class InstanceClass) {
-	switch class {
-	case ClassDSCS:
-		if s.freeDSCS < s.totalDSCS {
-			s.freeDSCS++
-		}
-	default:
-		if s.freeCPU < s.totalCPU {
-			s.freeCPU++
-		}
-	}
-	s.completed++
-	s.tel.Inc("sched_completed_total", 1)
-}
-
-// QueueLen reports queue occupancy.
-func (s *HybridScheduler) QueueLen() int { return s.queue.Len() }
-
-// Dropped counts rejections.
-func (s *HybridScheduler) Dropped() int { return s.queue.Dropped() }
-
-// Busy reports occupied instances per class.
-func (s *HybridScheduler) Busy() (cpu, dscs int) {
-	return s.totalCPU - s.freeCPU, s.totalDSCS - s.freeDSCS
-}
-
-// Conservation checks the bookkeeping invariant.
-func (s *HybridScheduler) Conservation() error {
-	busyCPU, busyDSCS := s.Busy()
-	accounted := s.queue.Len() + busyCPU + busyDSCS + s.completed
-	if s.submitted != accounted {
-		return fmt.Errorf("sched: hybrid conservation violated: %d submitted != %d accounted",
-			s.submitted, accounted)
-	}
-	return nil
-}
+// The two-pool scheduler that used to live here (HybridScheduler) was
+// retired in favor of serve.HybridCore, which shares its pool-accounting
+// code with the live engine's single-class PoolCore. This package keeps the
+// queue, the tasks, and the policies.

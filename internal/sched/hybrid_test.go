@@ -2,7 +2,6 @@ package sched
 
 import (
 	"testing"
-	"testing/quick"
 	"time"
 )
 
@@ -15,146 +14,188 @@ func task(id int, cpuMS int, accel int) HybridTask {
 	}
 }
 
-func TestHybridFCFSOrder(t *testing.T) {
-	s, err := NewHybrid(1, 1, 10, FCFSPolicy{}, nil)
+func mustSubmit(t *testing.T, q *HybridQueue, tasks ...HybridTask) {
+	t.Helper()
+	for _, tk := range tasks {
+		if !q.Submit(tk) {
+			t.Fatalf("task %d rejected", tk.ID)
+		}
+	}
+}
+
+func TestFCFSPickOrder(t *testing.T) {
+	q, err := NewHybridQueue(10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 4; i++ {
-		s.Submit(task(i, 100, 2))
+	mustSubmit(t, q, task(0, 100, 2), task(1, 10, 1), task(2, 500, 3))
+	for want := 0; want < 3; want++ {
+		got, ok := FCFSPolicy{}.Pick(q, ClassDSCS, 0)
+		if !ok || got.ID != want {
+			t.Fatalf("pick %d: id=%d ok=%v", want, got.ID, ok)
+		}
 	}
-	// DSCS is preferred and FCFS hands it the head of line.
-	got, class, ok := s.Dispatch()
-	if !ok || got.ID != 0 || class != ClassDSCS {
-		t.Fatalf("first dispatch: id=%d class=%v ok=%v", got.ID, class, ok)
-	}
-	got, class, _ = s.Dispatch()
-	if got.ID != 1 || class != ClassCPU {
-		t.Fatalf("second dispatch: id=%d class=%v", got.ID, class)
-	}
-	if _, _, ok := s.Dispatch(); ok {
-		t.Fatal("no free instances left")
-	}
-	if err := s.Conservation(); err != nil {
-		t.Fatal(err)
+	if _, ok := (FCFSPolicy{}).Pick(q, ClassCPU, 0); ok {
+		t.Fatal("pick from empty queue succeeded")
 	}
 }
 
 func TestCriticalityRouting(t *testing.T) {
-	s, _ := NewHybrid(1, 1, 10, CriticalityPolicy{}, nil)
-	s.Submit(task(0, 10, 2))  // short
-	s.Submit(task(1, 500, 2)) // long
-	s.Submit(task(2, 50, 2))  // medium
+	q, _ := NewHybridQueue(10)
+	mustSubmit(t, q, task(0, 10, 2), task(1, 500, 2), task(2, 50, 2))
 	// DSCS takes the longest-running task...
-	got, class, _ := s.Dispatch()
-	if got.ID != 1 || class != ClassDSCS {
+	got, _ := CriticalityPolicy{}.Pick(q, ClassDSCS, 0)
+	if got.ID != 1 {
 		t.Fatalf("DSCS got id=%d", got.ID)
 	}
 	// ...the CPU the shortest.
-	got, class, _ = s.Dispatch()
-	if got.ID != 0 || class != ClassCPU {
-		t.Fatalf("CPU got id=%d class=%v", got.ID, class)
+	got, _ = CriticalityPolicy{}.Pick(q, ClassCPU, 0)
+	if got.ID != 0 {
+		t.Fatalf("CPU got id=%d", got.ID)
 	}
 }
 
 func TestDAGAwareRouting(t *testing.T) {
-	s, _ := NewHybrid(1, 1, 10, DAGAwarePolicy{}, nil)
-	s.Submit(task(0, 100, 1))
-	s.Submit(task(1, 100, 4)) // deep accelerated chain
-	s.Submit(task(2, 100, 2))
-	got, class, _ := s.Dispatch()
-	if got.ID != 1 || class != ClassDSCS {
+	q, _ := NewHybridQueue(10)
+	mustSubmit(t, q, task(0, 100, 1), task(1, 100, 4), task(2, 100, 2))
+	got, _ := DAGAwarePolicy{}.Pick(q, ClassDSCS, 0)
+	if got.ID != 1 {
 		t.Fatalf("DSCS should take the deepest chain, got id=%d", got.ID)
 	}
-	got, _, _ = s.Dispatch()
+	got, _ = DAGAwarePolicy{}.Pick(q, ClassCPU, 0)
 	if got.ID != 0 {
 		t.Fatalf("CPU should take the shallowest chain, got id=%d", got.ID)
 	}
 }
 
+// TestCPUAgingPreventsStarvation is the regression test for the policy
+// starvation bug: on a single-class CPU pool (the live engine's layout),
+// CriticalityPolicy and DAGAwarePolicy degenerate to pure
+// shortest-job-first, so a steady stream of short requests starves a long
+// one forever. With the arrival-age bound, the long task must be picked
+// once its wait exceeds AgingMultiple times its own service estimate.
+// Against the pre-fix policies (no agedHead call in Pick) the long task is
+// never selected and this test fails.
+func TestCPUAgingPreventsStarvation(t *testing.T) {
+	for _, p := range []Policy{CriticalityPolicy{}, DAGAwarePolicy{}} {
+		t.Run(p.Name(), func(t *testing.T) {
+			q, err := NewHybridQueue(1000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			long := HybridTask{
+				ID: 0, Arrived: 0, Payload: "long",
+				CPUService: time.Second, DSCSService: 250 * time.Millisecond,
+				AccelFuncs: 4,
+			}
+			mustSubmit(t, q, long)
+			bound := time.Duration(AgingMultiple) * long.CPUService
+
+			// One short arrival per 100ms tick, one CPU pick per tick —
+			// there is always a fresher, shorter task to prefer.
+			pickedLongAt := time.Duration(-1)
+			for i := 1; i <= 200; i++ {
+				now := time.Duration(i) * 100 * time.Millisecond
+				mustSubmit(t, q, HybridTask{
+					ID: i, Arrived: now, Payload: "short",
+					CPUService: 10 * time.Millisecond, DSCSService: 3 * time.Millisecond,
+					AccelFuncs: 1,
+				})
+				got, ok := p.Pick(q, ClassCPU, now)
+				if !ok {
+					t.Fatalf("tick %d: nothing picked from a non-empty queue", i)
+				}
+				if got.ID == 0 {
+					pickedLongAt = now
+					break
+				}
+			}
+			if pickedLongAt < 0 {
+				t.Fatalf("%s: long task starved across 20s of short arrivals", p.Name())
+			}
+			if pickedLongAt <= bound {
+				t.Errorf("%s: long task picked at %v, before its aging bound %v — SJF should still prefer shorts",
+					p.Name(), pickedLongAt, bound)
+			}
+			if limit := bound + time.Second; pickedLongAt > limit {
+				t.Errorf("%s: long task picked only at %v, bound was %v", p.Name(), pickedLongAt, bound)
+			}
+		})
+	}
+}
+
+// TestDSCSAgingPreventsStarvation is the mirrored case: on the DSCS class
+// the estimate-ordered policies prefer the longest task, so short requests
+// can starve; the same age bound rescues them.
+func TestDSCSAgingPreventsStarvation(t *testing.T) {
+	q, _ := NewHybridQueue(1000)
+	short := HybridTask{
+		ID: 0, Arrived: 0, Payload: "short",
+		CPUService: 40 * time.Millisecond, DSCSService: 10 * time.Millisecond,
+		AccelFuncs: 1,
+	}
+	mustSubmit(t, q, short)
+	picked := false
+	for i := 1; i <= 100; i++ {
+		now := time.Duration(i) * 10 * time.Millisecond
+		mustSubmit(t, q, HybridTask{
+			ID: i, Arrived: now, Payload: "long",
+			CPUService: time.Second, DSCSService: 250 * time.Millisecond,
+			AccelFuncs: 4,
+		})
+		got, ok := CriticalityPolicy{}.Pick(q, ClassDSCS, now)
+		if !ok {
+			t.Fatal("nothing picked")
+		}
+		if got.ID == 0 {
+			picked = true
+			break
+		}
+	}
+	if !picked {
+		t.Fatal("short task starved on the DSCS class")
+	}
+}
+
+func TestAgingUsesClassEstimate(t *testing.T) {
+	// The bound is per-class: a task whose DSCS estimate is tiny ages out
+	// on the DSCS class long before it would on the CPU class.
+	tk := HybridTask{ID: 0, CPUService: time.Second, DSCSService: time.Millisecond}
+	now := 10 * AgingMultiple * time.Millisecond // >> 8*DSCS, << 8*CPU
+	q, _ := NewHybridQueue(4)
+	mustSubmit(t, q, tk, task(1, 2000, 1))
+	if got, _ := (CriticalityPolicy{}).Pick(q, ClassDSCS, now); got.ID != 0 {
+		t.Errorf("DSCS class should age out the head, got id=%d", got.ID)
+	}
+	q2, _ := NewHybridQueue(4)
+	mustSubmit(t, q2, tk, HybridTask{ID: 1, CPUService: time.Millisecond})
+	if got, _ := (CriticalityPolicy{}).Pick(q2, ClassCPU, now); got.ID != 1 {
+		t.Errorf("CPU class must not age yet, got id=%d", got.ID)
+	}
+}
+
 func TestHybridQueueBound(t *testing.T) {
-	s, _ := NewHybrid(1, 0, 2, FCFSPolicy{}, nil)
+	q, _ := NewHybridQueue(2)
 	for i := 0; i < 2; i++ {
-		if !s.Submit(task(i, 10, 1)) {
+		if !q.Submit(task(i, 10, 1)) {
 			t.Fatalf("submit %d should fit", i)
 		}
 	}
-	if s.Submit(task(9, 10, 1)) {
+	if q.Submit(task(9, 10, 1)) {
 		t.Fatal("queue bound ignored")
 	}
-	if s.Dropped() != 1 {
-		t.Fatalf("dropped = %d", s.Dropped())
-	}
-}
-
-func TestHybridCompleteReleases(t *testing.T) {
-	s, _ := NewHybrid(2, 1, 10, FCFSPolicy{}, nil)
-	for i := 0; i < 5; i++ {
-		s.Submit(task(i, 10, 1))
-	}
-	classes := map[InstanceClass]int{}
-	for {
-		_, class, ok := s.Dispatch()
-		if !ok {
-			break
-		}
-		classes[class]++
-	}
-	if classes[ClassDSCS] != 1 || classes[ClassCPU] != 2 {
-		t.Fatalf("dispatch mix: %v", classes)
-	}
-	s.Complete(ClassDSCS)
-	if _, class, ok := s.Dispatch(); !ok || class != ClassDSCS {
-		t.Fatal("freed DSCS instance should dispatch next")
-	}
-	if err := s.Conservation(); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestHybridValidation(t *testing.T) {
-	if _, err := NewHybrid(0, 0, 10, nil, nil); err == nil {
-		t.Error("empty pool must fail")
-	}
-	if _, err := NewHybrid(1, 1, 0, nil, nil); err == nil {
-		t.Error("zero queue depth must fail")
+	if q.Dropped() != 1 {
+		t.Fatalf("dropped = %d", q.Dropped())
 	}
 	if _, err := NewHybridQueue(0); err == nil {
 		t.Error("zero queue must fail")
 	}
 }
 
-func TestHybridConservationProperty(t *testing.T) {
-	f := func(ops []uint8) bool {
-		s, _ := NewHybrid(2, 2, 6, CriticalityPolicy{}, nil)
-		id := 0
-		inFlight := map[InstanceClass]int{}
-		for _, op := range ops {
-			switch op % 3 {
-			case 0:
-				s.Submit(task(id, int(op)+1, int(op)%4))
-				id++
-			case 1:
-				if _, class, ok := s.Dispatch(); ok {
-					inFlight[class]++
-				}
-			case 2:
-				for _, class := range []InstanceClass{ClassCPU, ClassDSCS} {
-					if inFlight[class] > 0 {
-						s.Complete(class)
-						inFlight[class]--
-						break
-					}
-				}
-			}
-			if err := s.Conservation(); err != nil {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
-		t.Error(err)
+func TestTaskServicePerClass(t *testing.T) {
+	tk := task(0, 100, 2)
+	if tk.Service(ClassCPU) != 100*time.Millisecond || tk.Service(ClassDSCS) != 25*time.Millisecond {
+		t.Errorf("Service() = %v/%v", tk.Service(ClassCPU), tk.Service(ClassDSCS))
 	}
 }
 

@@ -9,6 +9,7 @@ package serve
 
 import (
 	"fmt"
+	"time"
 
 	"dscs/internal/sched"
 )
@@ -28,6 +29,14 @@ type PoolCore struct {
 	running   int
 	submitted int
 	completed int
+	// overCompleted counts Complete calls that arrived with every worker
+	// already free — a caller bug (double-complete) that would otherwise
+	// cancel out of the conservation sum and hide silently.
+	overCompleted int
+	// sharedQueue marks a core whose queue (and submission accounting) is
+	// owned by a HybridCore; its per-core Conservation skips the
+	// submission balance, which only holds across the class pair.
+	sharedQueue bool
 }
 
 // NewPoolCore builds a pool of the given worker count and admission bound.
@@ -62,11 +71,14 @@ func (c *PoolCore) Submit(t sched.HybridTask) bool {
 }
 
 // Dispatch hands the policy-selected task to a free worker, if both exist.
-func (c *PoolCore) Dispatch() (sched.HybridTask, bool) {
+// now is the caller's clock (wall time on the live engine, virtual time in
+// the simulator) on the same basis as HybridTask.Arrived; the policies use
+// it for starvation aging.
+func (c *PoolCore) Dispatch(now time.Duration) (sched.HybridTask, bool) {
 	if c.free == 0 {
 		return sched.HybridTask{}, false
 	}
-	t, ok := c.policy.Pick(c.queue, c.class)
+	t, ok := c.policy.Pick(c.queue, c.class, now)
 	if !ok {
 		return sched.HybridTask{}, false
 	}
@@ -85,10 +97,14 @@ func (c *PoolCore) Coalesce(max int, match func(sched.HybridTask) bool) []sched.
 }
 
 // Complete retires n tasks (one execution, n coalesced requests) and frees
-// their worker.
+// their worker. A Complete with no worker busy is a caller bug: it is
+// counted as an over-completion and surfaced by Conservation instead of
+// being silently clamped away.
 func (c *PoolCore) Complete(n int) {
 	if c.free < c.total {
 		c.free++
+	} else {
+		c.overCompleted++
 	}
 	c.running -= n
 	c.completed += n
@@ -96,6 +112,9 @@ func (c *PoolCore) Complete(n int) {
 
 // QueueLen reports queue occupancy.
 func (c *PoolCore) QueueLen() int { return c.queue.Len() }
+
+// QueueFull reports whether the next Submit would drop.
+func (c *PoolCore) QueueFull() bool { return c.queue.Full() }
 
 // Dropped counts admission rejections.
 func (c *PoolCore) Dropped() int { return c.queue.Dropped() }
@@ -112,9 +131,23 @@ func (c *PoolCore) Running() int { return c.running }
 // Completed reports retired tasks.
 func (c *PoolCore) Completed() int { return c.completed }
 
+// OverCompleted counts Complete calls that found every worker already free.
+func (c *PoolCore) OverCompleted() int { return c.overCompleted }
+
 // Conservation checks the bookkeeping invariant: every admitted task is
-// queued, executing, or completed.
+// queued, executing, or completed, no Complete arrived without a matching
+// Dispatch, and no execution retired more tasks than were assigned to it.
 func (c *PoolCore) Conservation() error {
+	if c.overCompleted > 0 {
+		return fmt.Errorf("serve: conservation violated: %d completions with no busy worker (double-complete)",
+			c.overCompleted)
+	}
+	if c.running < 0 {
+		return fmt.Errorf("serve: conservation violated: %d tasks running (over-complete)", c.running)
+	}
+	if c.sharedQueue {
+		return nil // the submission balance is checked by the HybridCore
+	}
 	accounted := c.queue.Len() + c.running + c.completed
 	if c.submitted != accounted {
 		return fmt.Errorf("serve: conservation violated: %d submitted != %d queued + %d running + %d completed",
@@ -122,3 +155,140 @@ func (c *PoolCore) Conservation() error {
 	}
 	return nil
 }
+
+// HybridCore is the two-class scheduling state machine of the paper's
+// Section 5.3 heterogeneous pool: one bounded queue drained by a pluggable
+// policy into a CPU-class and a DSCS-class PoolCore. It replaces the
+// retired sched.HybridScheduler, so the discrete-event hybrid simulation
+// (cluster.RunHybrid) and the live engine's single-class pools share the
+// same pool-accounting code. Like PoolCore it owns no goroutines and no
+// clock; callers inject now into Dispatch.
+type HybridCore struct {
+	queue     *sched.HybridQueue
+	cpu, dscs *PoolCore
+	submitted int
+}
+
+// newPoolCoreOver builds a class pool over an externally owned queue. Zero
+// workers is allowed here (a hybrid pool may have one empty class); the
+// class simply never dispatches.
+func newPoolCoreOver(q *sched.HybridQueue, workers int, class sched.InstanceClass, policy sched.Policy) *PoolCore {
+	return &PoolCore{
+		queue: q, policy: policy, class: class,
+		free: workers, total: workers, sharedQueue: true,
+	}
+}
+
+// NewHybridCore builds the heterogeneous pool. A nil policy defaults to the
+// paper's deployed FCFS.
+func NewHybridCore(cpuWorkers, dscsWorkers, queueDepth int, policy sched.Policy) (*HybridCore, error) {
+	if cpuWorkers < 0 || dscsWorkers < 0 || cpuWorkers+dscsWorkers == 0 {
+		return nil, fmt.Errorf("serve: empty hybrid pool")
+	}
+	q, err := sched.NewHybridQueue(queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	if policy == nil {
+		policy = sched.FCFSPolicy{}
+	}
+	return &HybridCore{
+		queue: q,
+		cpu:   newPoolCoreOver(q, cpuWorkers, sched.ClassCPU, policy),
+		dscs:  newPoolCoreOver(q, dscsWorkers, sched.ClassDSCS, policy),
+	}, nil
+}
+
+// Submit admits a task; it reports false (drop) at the queue bound.
+func (h *HybridCore) Submit(t sched.HybridTask) bool {
+	if !h.queue.Submit(t) {
+		return false
+	}
+	h.submitted++
+	return true
+}
+
+// Dispatch assigns work to a free worker, preferring DSCS capacity (it
+// serves faster). It returns the task, the class it runs on, and whether
+// anything was dispatched.
+func (h *HybridCore) Dispatch(now time.Duration) (sched.HybridTask, sched.InstanceClass, bool) {
+	if t, ok := h.dscs.Dispatch(now); ok {
+		return t, sched.ClassDSCS, true
+	}
+	if t, ok := h.cpu.Dispatch(now); ok {
+		return t, sched.ClassCPU, true
+	}
+	return sched.HybridTask{}, sched.ClassCPU, false
+}
+
+// Class exposes one class's pool (batch coalescing, diagnostics).
+func (h *HybridCore) Class(class sched.InstanceClass) *PoolCore {
+	if class == sched.ClassDSCS {
+		return h.dscs
+	}
+	return h.cpu
+}
+
+// Complete retires n tasks from the given class and frees their worker.
+func (h *HybridCore) Complete(class sched.InstanceClass, n int) {
+	h.Class(class).Complete(n)
+}
+
+// QueueLen reports queue occupancy.
+func (h *HybridCore) QueueLen() int { return h.queue.Len() }
+
+// Dropped counts admission rejections.
+func (h *HybridCore) Dropped() int { return h.queue.Dropped() }
+
+// Busy reports occupied workers per class.
+func (h *HybridCore) Busy() (cpu, dscs int) {
+	return h.cpu.Busy(), h.dscs.Busy()
+}
+
+// Completed reports retired tasks across both classes.
+func (h *HybridCore) Completed() int { return h.cpu.completed + h.dscs.completed }
+
+// Conservation checks the bookkeeping invariant across both classes: every
+// admitted task is queued, executing, or completed, and neither class saw
+// a completion without a matching dispatch.
+func (h *HybridCore) Conservation() error {
+	for _, c := range []*PoolCore{h.cpu, h.dscs} {
+		if err := c.Conservation(); err != nil {
+			return fmt.Errorf("%s class: %w", c.class, err)
+		}
+	}
+	accounted := h.queue.Len() + h.cpu.running + h.dscs.running + h.Completed()
+	if h.submitted != accounted {
+		return fmt.Errorf("serve: hybrid conservation violated: %d submitted != %d queued + %d+%d running + %d completed",
+			h.submitted, h.queue.Len(), h.cpu.running, h.dscs.running, h.Completed())
+	}
+	return nil
+}
+
+// BatchWindow is the deadline-aware half of request batching: when a
+// dispatched lead task's batch is below the profitable size, the dispatcher
+// may linger until the deadline to let same-benchmark arrivals fill it,
+// instead of coalescing only what already queued. It is clock-free — the
+// live engine feeds it wall time while the discrete-event simulation feeds
+// it virtual time, so both exercise the same linger decision.
+type BatchWindow struct {
+	// Deadline is the instant the dispatcher stops waiting.
+	Deadline time.Duration
+	// Target is the profitable batch size; Size is gathered so far.
+	Target, Size int
+}
+
+// NewBatchWindow opens a linger window at now for a batch that currently
+// holds size of target.
+func NewBatchWindow(now, linger time.Duration, target, size int) BatchWindow {
+	return BatchWindow{Deadline: now + linger, Target: target, Size: size}
+}
+
+// Open reports whether the dispatcher should keep lingering at now: the
+// batch is below target and the deadline has not passed.
+func (w BatchWindow) Open(now time.Duration) bool {
+	return w.Size < w.Target && now < w.Deadline
+}
+
+// Add records n more gathered requests.
+func (w *BatchWindow) Add(n int) { w.Size += n }

@@ -1,11 +1,18 @@
 // Package serve is the concurrent invocation engine behind the gateway:
-// per-platform worker pools over the shared scheduling core (PoolCore),
-// admission control on a bounded queue with the pluggable policies of
-// internal/sched (FCFS / criticality-aware / DAG-aware), and request
-// batching that coalesces same-benchmark invocations into one DSA execution
-// up to the profitable batch size (Figure 14's regime). The discrete-event
-// at-scale simulation (internal/cluster) drives the same PoolCore, so the
-// simulated rack and the live HTTP path share one scheduler implementation.
+// per-platform worker pools over the shared scheduling core (PoolCore and
+// its two-class sibling HybridCore), admission control on a bounded queue
+// with the pluggable policies of internal/sched (FCFS / criticality-aware /
+// DAG-aware), and request batching that coalesces same-benchmark
+// invocations into one DSA execution up to the profitable batch size
+// (Figure 14's regime) — optionally lingering (BatchLinger) to let the
+// batch fill toward that size. DSCS-class submissions can spill over to a
+// CPU pool when the accelerated queue is deep (SpilloverThreshold), and
+// DSCS executions occupy one physical DSCS-Drive each, so drive-level
+// contention and the arbitration penalty on concurrent storage I/O show up
+// in live metrics. The discrete-event at-scale simulation
+// (internal/cluster) drives the same cores and BatchWindow from its virtual
+// clock, so the simulated rack and the live HTTP path share one scheduler
+// implementation.
 package serve
 
 import (
@@ -16,7 +23,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dscs/internal/csd"
 	"dscs/internal/faas"
+	"dscs/internal/objstore"
 	"dscs/internal/platform"
 	"dscs/internal/sched"
 	"dscs/internal/workload"
@@ -52,6 +61,18 @@ type Options struct {
 	// MaxBatch caps same-benchmark request coalescing per execution
 	// (default DefaultMaxBatch; 1 disables batching).
 	MaxBatch int
+	// BatchLinger lets a dispatching worker wait up to this long for a
+	// same-benchmark batch to fill toward MaxBatch instead of coalescing
+	// only what already queued (0, the default, disables lingering).
+	BatchLinger time.Duration
+	// SpilloverThreshold routes a submission aimed at a DSCS-class pool
+	// to a CPU-class pool once the DSCS queue has reached this depth —
+	// the scarce accelerated capacity stays for work already committed to
+	// it (0, the default, keeps the pools isolated).
+	SpilloverThreshold int
+	// SpilloverTo names the CPU-class pool spilled work lands on. Empty
+	// picks the least-queued CPU-class pool per submission.
+	SpilloverTo string
 	// Telemetry receives the engine's metrics; pass the gateway's
 	// registry to surface them on /metrics (default: a fresh registry).
 	Telemetry *sched.Telemetry
@@ -127,6 +148,7 @@ type request struct {
 type pool struct {
 	name   string
 	runner *faas.Runner
+	class  sched.InstanceClass
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -135,15 +157,121 @@ type pool struct {
 	closed  bool
 }
 
+// driveSet serializes DSCS-class executions over the physical DSCS-Drives:
+// the engine's DSCS pool sizes workers, but the rack has a fixed number of
+// drives, each run-to-completion (csd.Drive.Acquire). Holding a drive marks
+// it busy, so concurrent conventional storage I/O against it pays the
+// ArbitrationPenalty in live latencies — the drive-level contention the
+// analytic model charges now shows up in served traffic too.
+type driveSet struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	drives  []*csd.Drive
+	ids     []string
+	byDrive map[*csd.Drive]int
+	closed  bool
+}
+
+// newDriveSet harvests the DSCS-Drives behind the given stores (deduped —
+// pools usually share one object store).
+func newDriveSet(stores []*objstore.Store) *driveSet {
+	ds := &driveSet{byDrive: make(map[*csd.Drive]int)}
+	ds.cond = sync.NewCond(&ds.mu)
+	for _, store := range stores {
+		for _, n := range store.Nodes() {
+			if n.CSD == nil {
+				continue
+			}
+			if _, seen := ds.byDrive[n.CSD]; seen {
+				continue
+			}
+			ds.byDrive[n.CSD] = len(ds.drives)
+			ds.drives = append(ds.drives, n.CSD)
+			ds.ids = append(ds.ids, n.ID)
+		}
+	}
+	return ds
+}
+
+// acquireDrive blocks until the given drive's DSA is free and returns its
+// index, plus whether the caller had to wait (contention). This targets
+// the specific drive the execution will run on — the one holding the input
+// replica — so exclusivity and the arbitration penalty attach to the right
+// device. It returns -1 for an unknown drive or when the set is closing;
+// execution then proceeds unarbitrated.
+func (ds *driveSet) acquireDrive(d *csd.Drive) (idx int, waited bool) {
+	i, ok := ds.byDrive[d]
+	if !ok {
+		return -1, false
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for !ds.closed {
+		if d.Acquire() {
+			return i, waited
+		}
+		waited = true
+		ds.cond.Wait()
+	}
+	return -1, waited
+}
+
+// acquire blocks until any drive's DSA is free (tests use it to stage
+// occupancy); same contract as acquireDrive.
+func (ds *driveSet) acquire() (idx int, waited bool) {
+	if len(ds.drives) == 0 {
+		return -1, false
+	}
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	for !ds.closed {
+		for i, d := range ds.drives {
+			if d.Acquire() {
+				return i, waited
+			}
+		}
+		waited = true
+		ds.cond.Wait()
+	}
+	return -1, waited
+}
+
+// release frees a drive and wakes every waiter: waiters target specific
+// drives, so a single Signal could wake one waiting on a still-busy device
+// and strand the one this release unblocks.
+func (ds *driveSet) release(idx int) {
+	ds.drives[idx].Release()
+	ds.mu.Lock()
+	ds.cond.Broadcast()
+	ds.mu.Unlock()
+}
+
+// close unblocks every waiter; subsequent acquires return -1.
+func (ds *driveSet) close() {
+	ds.mu.Lock()
+	ds.closed = true
+	ds.cond.Broadcast()
+	ds.mu.Unlock()
+}
+
 // Engine is the concurrent serving core. Safe for concurrent use.
 type Engine struct {
-	opt    Options
-	tel    *sched.Telemetry
-	pools  map[string]*pool
-	start  time.Time
-	nextID atomic.Int64
-	wg     sync.WaitGroup
-	once   sync.Once
+	opt   Options
+	tel   *sched.Telemetry
+	pools map[string]*pool
+	// spillCPU lists the CPU-class pools eligible as spillover targets,
+	// sorted by name for deterministic tie-breaks.
+	spillCPU []*pool
+	// drives arbitrates DSCS-class executions over the physical drives.
+	drives *driveSet
+	// estimates memoizes service estimates per benchmark slug. It lives
+	// on the engine — a package-level cache would leak one run's pricing
+	// into another engine's policies (or a test's redefined slug).
+	estimates sync.Map // slug -> serviceEstimate
+	start     time.Time
+	nextID    atomic.Int64
+	wg        sync.WaitGroup
+	once      sync.Once
 }
 
 // NewEngine builds one worker pool per runner (the platform.All lineup in
@@ -166,15 +294,56 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		pools: make(map[string]*pool, len(runners)),
 		start: time.Now(),
 	}
+	var dscsStores []*objstore.Store
 	for name, r := range runners {
-		core, err := NewPoolCore(opt.Workers, opt.QueueDepth, classFor(r.Platform), opt.Policy)
+		class := classFor(r.Platform)
+		core, err := NewPoolCore(opt.Workers, opt.QueueDepth, class, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
-		p := &pool{name: name, runner: r, core: core, pending: make(map[int]*request)}
+		p := &pool{name: name, runner: r, class: class, core: core, pending: make(map[int]*request)}
 		p.cond = sync.NewCond(&p.mu)
 		e.pools[name] = p
+		if class == sched.ClassDSCS && r.Store != nil {
+			dscsStores = append(dscsStores, r.Store)
+		}
 		e.tel.Set("serve_workers{platform="+name+"}", float64(opt.Workers))
+	}
+	for _, p := range e.pools {
+		if p.class == sched.ClassCPU {
+			e.spillCPU = append(e.spillCPU, p)
+		}
+	}
+	sort.Slice(e.spillCPU, func(i, j int) bool { return e.spillCPU[i].name < e.spillCPU[j].name })
+	if opt.SpilloverThreshold > 0 {
+		if opt.SpilloverTo != "" {
+			t, ok := e.pools[opt.SpilloverTo]
+			if !ok {
+				return nil, fmt.Errorf("serve: unknown spillover target %q", opt.SpilloverTo)
+			}
+			if t.class != sched.ClassCPU {
+				return nil, fmt.Errorf("serve: spillover target %q is not a CPU-class pool", opt.SpilloverTo)
+			}
+		}
+		if len(e.spillCPU) == 0 {
+			return nil, fmt.Errorf("serve: spillover enabled with no CPU-class pool")
+		}
+		// Register the counters up front so /metrics shows the feature is
+		// armed even before the first spill.
+		e.tel.Inc("serve_spillover_total", 0)
+		if opt.SpilloverTo != "" {
+			for _, p := range e.pools {
+				if p.class == sched.ClassDSCS {
+					e.tel.Inc("serve_spillover_total{from="+p.name+",to="+opt.SpilloverTo+"}", 0)
+				}
+			}
+		}
+	}
+	e.drives = newDriveSet(dscsStores)
+	for _, id := range e.drives.ids {
+		e.tel.Set("serve_drive_busy{drive="+id+"}", 0)
+	}
+	for _, p := range e.pools {
 		for i := 0; i < opt.Workers; i++ {
 			e.wg.Add(1)
 			go e.worker(p)
@@ -194,6 +363,10 @@ func classFor(c platform.Compute) sched.InstanceClass {
 
 // Telemetry returns the engine's metric registry.
 func (e *Engine) Telemetry() *sched.Telemetry { return e.tel }
+
+// now is the engine's clock on the same basis as HybridTask.Arrived; the
+// scheduling core and batch windows are clock-free and take it as input.
+func (e *Engine) now() time.Duration { return time.Since(e.start) }
 
 // Platforms lists the pools, sorted.
 func (e *Engine) Platforms() []string {
@@ -262,9 +435,60 @@ func coalescable(a, b faas.Options) bool {
 		a.ExtraAccelFuncs == b.ExtraAccelFuncs
 }
 
+// spillTarget picks the CPU-class pool an over-threshold DSCS submission
+// lands on: the configured SpilloverTo pool, or the least-queued CPU pool
+// (ties broken by name).
+func (e *Engine) spillTarget() *pool {
+	if e.opt.SpilloverTo != "" {
+		return e.pools[e.opt.SpilloverTo]
+	}
+	var best *pool
+	bestDepth := 0
+	for _, c := range e.spillCPU {
+		c.mu.Lock()
+		depth := c.core.QueueLen()
+		c.mu.Unlock()
+		if best == nil || depth < bestDepth {
+			best, bestDepth = c, depth
+		}
+	}
+	return best
+}
+
+// admit submits the task to one pool's queue and registers its pending
+// request: ErrClosed after shutdown, ErrQueueFull at the admission bound.
+// bounceIfFull marks a spill attempt: a full target then reports
+// ErrQueueFull without counting a drop against its queue — the request is
+// not lost, it falls back to the original pool.
+func (e *Engine) admit(p *pool, task sched.HybridTask, req *request, bounceIfFull bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if bounceIfFull && p.core.QueueFull() {
+		return ErrQueueFull
+	}
+	if !p.core.Submit(task) {
+		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+		return ErrQueueFull
+	}
+	p.pending[task.ID] = req
+	e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+	p.cond.Signal()
+	return nil
+}
+
 // Submit enqueues one invocation and blocks until a worker serves it (or
 // admission control rejects it with ErrQueueFull). Safe for concurrent use
 // from any number of goroutines — the request path has no global lock.
+//
+// With SpilloverThreshold set, a submission aimed at a DSCS-class pool
+// whose queue has reached the threshold is rerouted to a CPU-class pool
+// (recorded as serve_spillover_total{from,to}); the returned
+// Invocation.Platform names the pool that actually served it. A full spill
+// target falls back to the original pool, which may still have room — the
+// threshold sits well below the admission bound.
 func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Options) (Invocation, error) {
 	p, ok := e.pools[platformName]
 	if !ok {
@@ -273,7 +497,18 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 	if b == nil {
 		return Invocation{}, fmt.Errorf("serve: nil benchmark")
 	}
-	cpuSvc, dscsSvc, accel := estimate(b)
+	target, spilled := p, false
+	if e.opt.SpilloverThreshold > 0 && p.class == sched.ClassDSCS {
+		p.mu.Lock()
+		depth := p.core.QueueLen()
+		p.mu.Unlock()
+		if depth >= e.opt.SpilloverThreshold {
+			if t := e.spillTarget(); t != nil && t != p {
+				target, spilled = t, true
+			}
+		}
+	}
+	cpuSvc, dscsSvc, accel := e.estimate(b)
 	task := sched.HybridTask{
 		ID:          int(e.nextID.Add(1)),
 		Arrived:     time.Since(e.start),
@@ -284,24 +519,26 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 	}
 	req := &request{bench: b, opt: opt, enq: time.Now(), done: make(chan outcome, 1)}
 
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
-		return Invocation{}, ErrClosed
+	err := e.admit(target, task, req, spilled)
+	if spilled && errors.Is(err, ErrQueueFull) {
+		// The spill target is full; the original DSCS queue may still
+		// have room (its bound is deeper than the spill threshold).
+		target, spilled = p, false
+		err = e.admit(target, task, req, false)
 	}
-	if !p.core.Submit(task) {
-		depth := p.core.QueueLen()
-		p.mu.Unlock()
-		e.tel.Inc("serve_dropped_total", 1)
-		e.tel.Inc("serve_dropped_total{platform="+platformName+"}", 1)
-		e.tel.Set("serve_queue_depth{platform="+platformName+"}", float64(depth))
-		return Invocation{}, ErrQueueFull
+	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			e.tel.Inc("serve_dropped_total", 1)
+			e.tel.Inc("serve_dropped_total{platform="+target.name+"}", 1)
+		}
+		return Invocation{}, err
 	}
-	p.pending[task.ID] = req
+	platformName = target.name
+	if spilled {
+		e.tel.Inc("serve_spillover_total", 1)
+		e.tel.Inc("serve_spillover_total{from="+p.name+",to="+target.name+"}", 1)
+	}
 	e.tel.Inc("serve_submitted_total", 1)
-	e.tel.Set("serve_queue_depth{platform="+platformName+"}", float64(p.core.QueueLen()))
-	p.cond.Signal()
-	p.mu.Unlock()
 
 	out := <-req.done
 	if out.err != nil {
@@ -316,45 +553,94 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 	}, nil
 }
 
-// collectBatch resolves a dispatched task to its request and coalesces
-// compatible same-benchmark queued requests into the execution, up to
-// MaxBatch combined model batch. It returns the requests (lead first) and
-// the combined batch. Callers hold p.mu.
-func (e *Engine) collectBatch(p *pool, task sched.HybridTask) ([]*request, int) {
+// batchState is one execution's gathered requests: the dispatched lead
+// plus every compatible same-benchmark request coalesced so far, with the
+// remaining MaxBatch budget for further gathering during a linger window.
+type batchState struct {
+	lead    *request
+	reqs    []*request
+	payload string
+	batch   int // combined model batch
+	budget  int // remaining model-batch budget toward MaxBatch
+}
+
+// newBatch resolves a dispatched task to its request and does the initial
+// coalescing pass over what already queued. Callers hold p.mu.
+func (e *Engine) newBatch(p *pool, task sched.HybridTask) *batchState {
 	lead := p.pending[task.ID]
 	delete(p.pending, task.ID)
-	reqs := []*request{lead}
-	if budget := e.opt.MaxBatch - reqBatch(lead.opt); budget > 0 {
-		taken := p.core.Coalesce(budget, func(t sched.HybridTask) bool {
-			r := p.pending[t.ID]
-			if r == nil || t.Payload != task.Payload || !coalescable(r.opt, lead.opt) {
-				return false
-			}
-			if reqBatch(r.opt) > budget {
-				return false
-			}
-			budget -= reqBatch(r.opt)
-			return true
-		})
-		for _, t := range taken {
-			reqs = append(reqs, p.pending[t.ID])
-			delete(p.pending, t.ID)
+	bs := &batchState{
+		lead: lead, reqs: []*request{lead}, payload: task.Payload,
+		batch:  reqBatch(lead.opt),
+		budget: e.opt.MaxBatch - reqBatch(lead.opt),
+	}
+	e.gather(p, bs)
+	return bs
+}
+
+// gather coalesces compatible same-benchmark queued requests into the
+// batch, up to the remaining budget, and refreshes the queue-depth gauge
+// (Coalesce removes queued tasks just like Dispatch does). It returns how
+// many requests were taken. Callers hold p.mu.
+func (e *Engine) gather(p *pool, bs *batchState) int {
+	if bs.budget <= 0 {
+		return 0
+	}
+	budget := bs.budget
+	taken := p.core.Coalesce(budget, func(t sched.HybridTask) bool {
+		r := p.pending[t.ID]
+		if r == nil || t.Payload != bs.payload || !coalescable(r.opt, bs.lead.opt) {
+			return false
 		}
+		if reqBatch(r.opt) > budget {
+			return false
+		}
+		budget -= reqBatch(r.opt)
+		return true
+	})
+	for _, t := range taken {
+		r := p.pending[t.ID]
+		delete(p.pending, t.ID)
+		bs.reqs = append(bs.reqs, r)
+		bs.batch += reqBatch(r.opt)
 	}
-	batch := 0
-	for _, r := range reqs {
-		batch += reqBatch(r.opt)
+	bs.budget = budget
+	if len(taken) > 0 {
+		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
 	}
-	return reqs, batch
+	return len(taken)
+}
+
+// collectBatch is newBatch flattened to (requests, combined batch) — kept
+// as the deterministic entry point the batching tests drive.
+func (e *Engine) collectBatch(p *pool, task sched.HybridTask) ([]*request, int) {
+	bs := e.newBatch(p, task)
+	return bs.reqs, bs.batch
+}
+
+// lingerSlice is the wall-clock granularity of the engine's linger loop:
+// the worker re-checks the queue for late same-benchmark arrivals at this
+// period until the BatchWindow closes.
+func lingerSlice(linger time.Duration) time.Duration {
+	slice := linger / 8
+	if slice < 100*time.Microsecond {
+		slice = 100 * time.Microsecond
+	}
+	if slice > 2*time.Millisecond {
+		slice = 2 * time.Millisecond
+	}
+	return slice
 }
 
 // worker is one pool goroutine: dispatch via the shared core, coalesce a
-// batch, execute run-to-completion, deliver outcomes.
+// batch (lingering up to BatchLinger for it to fill toward MaxBatch),
+// execute run-to-completion, deliver outcomes.
 func (e *Engine) worker(p *pool) {
 	defer e.wg.Done()
 	p.mu.Lock()
 	for {
-		task, ok := p.core.Dispatch()
+		now := e.now()
+		task, ok := p.core.Dispatch(now)
 		if !ok {
 			if p.closed {
 				p.mu.Unlock()
@@ -363,28 +649,67 @@ func (e *Engine) worker(p *pool) {
 			p.cond.Wait()
 			continue
 		}
-		reqs, batch := e.collectBatch(p, task)
+		bs := e.newBatch(p, task)
+		if e.opt.BatchLinger > 0 && e.opt.MaxBatch > 1 {
+			// Deadline-aware batching: the same BatchWindow decision the
+			// discrete-event simulation drives from its virtual clock,
+			// here fed wall time and slept in slices.
+			w := NewBatchWindow(now, e.opt.BatchLinger, e.opt.MaxBatch, bs.batch)
+			for w.Open(e.now()) && !p.closed {
+				p.mu.Unlock()
+				time.Sleep(lingerSlice(e.opt.BatchLinger))
+				p.mu.Lock()
+				e.gather(p, bs)
+				w.Size = bs.batch
+			}
+		}
 		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
 		p.mu.Unlock()
 
+		// DSCS-class executions occupy the physical drive holding their
+		// input replica for the duration (run-to-completion, Section 5.3);
+		// conventional I/O against a held drive pays the arbitration
+		// penalty, and waiting here is drive contention. A request whose
+		// input has no healthy DSCS replica falls back to conventional
+		// execution inside the runner and occupies no drive.
+		lead := bs.lead
+		drive := -1
+		if p.class == sched.ClassDSCS {
+			if d, ok := p.runner.DriveFor(lead.bench, bs.batch); ok {
+				var waited bool
+				drive, waited = e.drives.acquireDrive(d)
+				if waited {
+					e.tel.Inc("serve_drive_contention_total", 1)
+				}
+				if drive >= 0 {
+					e.tel.Set("serve_drive_busy{drive="+e.drives.ids[drive]+"}", 1)
+					e.tel.Inc("serve_drive_acquired_total{drive="+e.drives.ids[drive]+"}", 1)
+				}
+			}
+		}
+
 		dispatched := time.Now()
-		lead := reqs[0]
 		opt := lead.opt
-		opt.Batch = batch
+		opt.Batch = bs.batch
 		res, err := p.runner.Invoke(lead.bench, opt)
 
+		if drive >= 0 {
+			e.tel.Set("serve_drive_busy{drive="+e.drives.ids[drive]+"}", 0)
+			e.drives.release(drive)
+		}
+
 		p.mu.Lock()
-		p.core.Complete(len(reqs))
+		p.core.Complete(len(bs.reqs))
 		p.mu.Unlock()
 		e.tel.Inc("serve_batches_total", 1)
-		e.tel.Inc("serve_batched_requests_total", float64(len(reqs)))
-		e.tel.Set("serve_batch_occupancy", float64(batch))
-		e.tel.Inc("serve_completed_total", float64(len(reqs)))
-		for _, r := range reqs {
+		e.tel.Inc("serve_batched_requests_total", float64(len(bs.reqs)))
+		e.tel.Set("serve_batch_occupancy{platform="+p.name+"}", float64(bs.batch))
+		e.tel.Inc("serve_completed_total", float64(len(bs.reqs)))
+		for _, r := range bs.reqs {
 			wait := dispatched.Sub(r.enq)
 			e.tel.Inc("serve_wait_ms_total", float64(wait)/float64(time.Millisecond))
 			r.done <- outcome{res: res, err: err, queued: wait,
-				batchRequests: len(reqs), batchSize: batch}
+				batchRequests: len(bs.reqs), batchSize: bs.batch}
 		}
 		p.mu.Lock()
 	}
@@ -400,6 +725,9 @@ func (e *Engine) Close() {
 			p.cond.Broadcast()
 			p.mu.Unlock()
 		}
+		// Unblock workers waiting for a physical drive; their in-flight
+		// executions finish unarbitrated.
+		e.drives.close()
 		e.wg.Wait()
 		// Workers exit only with empty queues, so nothing pends here
 		// unless a submit raced the close; fail those explicitly.
@@ -421,32 +749,31 @@ type serviceEstimate struct {
 	accelFuncs int
 }
 
-// estimateCache memoizes estimates per benchmark slug: deriving them walks
-// the model graphs and rebuilds the application chain, which is pure
-// per-benchmark work that must not repeat on every Submit.
-var estimateCache sync.Map // slug -> serviceEstimate
-
 // estimate prices a benchmark for the scheduling policies: expected service
 // time on the CPU baseline and on the in-storage DSA (effective-throughput
 // rooflines; only the relative order matters to the policies), plus the
 // acceleratable-function count of its chain for DAG-aware scheduling.
-func estimate(b *workload.Benchmark) (cpu, dscs time.Duration, accelFuncs int) {
-	if v, ok := estimateCache.Load(b.Slug); ok {
-		e := v.(serviceEstimate)
-		return e.cpu, e.dscs, e.accelFuncs
+// Deriving an estimate walks the model graphs and rebuilds the application
+// chain — pure per-benchmark work memoized in the engine's cache (per
+// engine, not per process: another engine, or a test redefining a slug,
+// must not read this run's pricing).
+func (e *Engine) estimate(b *workload.Benchmark) (cpu, dscs time.Duration, accelFuncs int) {
+	if v, ok := e.estimates.Load(b.Slug); ok {
+		est := v.(serviceEstimate)
+		return est.cpu, est.dscs, est.accelFuncs
 	}
 	const (
 		cpuFLOPS  = 200e9 // Baseline (CPU) effective throughput
 		dscsFLOPS = 26e12 // 128x128 DSA at 1 GHz, utilization-derated
 	)
 	flops := float64(b.Preproc.FLOPs() + b.Model.FLOPs())
-	e := serviceEstimate{
+	est := serviceEstimate{
 		cpu:  time.Duration(flops / cpuFLOPS * float64(time.Second)),
 		dscs: time.Duration(flops / dscsFLOPS * float64(time.Second)),
 	}
 	if app, err := faas.AppFor(b); err == nil {
-		e.accelFuncs = len(app.AcceleratedPrefix())
+		est.accelFuncs = len(app.AcceleratedPrefix())
 	}
-	estimateCache.Store(b.Slug, e)
-	return e.cpu, e.dscs, e.accelFuncs
+	e.estimates.Store(b.Slug, est)
+	return est.cpu, est.dscs, est.accelFuncs
 }

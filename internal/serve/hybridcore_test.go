@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dscs/internal/sched"
+)
+
+func hybridTask(id int, cpuMS int, accel int) sched.HybridTask {
+	return sched.HybridTask{
+		ID: id, Payload: "t",
+		CPUService:  time.Duration(cpuMS) * time.Millisecond,
+		DSCSService: time.Duration(cpuMS) * time.Millisecond / 4,
+		AccelFuncs:  accel,
+	}
+}
+
+func TestHybridCoreFCFSOrder(t *testing.T) {
+	h, err := NewHybridCore(1, 1, 10, sched.FCFSPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		h.Submit(hybridTask(i, 100, 2))
+	}
+	// DSCS is preferred and FCFS hands it the head of line.
+	got, class, ok := h.Dispatch(0)
+	if !ok || got.ID != 0 || class != sched.ClassDSCS {
+		t.Fatalf("first dispatch: id=%d class=%v ok=%v", got.ID, class, ok)
+	}
+	got, class, _ = h.Dispatch(0)
+	if got.ID != 1 || class != sched.ClassCPU {
+		t.Fatalf("second dispatch: id=%d class=%v", got.ID, class)
+	}
+	if _, _, ok := h.Dispatch(0); ok {
+		t.Fatal("no free instances left")
+	}
+	if err := h.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridCoreCriticalityRouting(t *testing.T) {
+	h, _ := NewHybridCore(1, 1, 10, sched.CriticalityPolicy{})
+	h.Submit(hybridTask(0, 10, 2))  // short
+	h.Submit(hybridTask(1, 500, 2)) // long
+	h.Submit(hybridTask(2, 50, 2))  // medium
+	// DSCS takes the longest-running task...
+	got, class, _ := h.Dispatch(0)
+	if got.ID != 1 || class != sched.ClassDSCS {
+		t.Fatalf("DSCS got id=%d", got.ID)
+	}
+	// ...the CPU the shortest.
+	got, class, _ = h.Dispatch(0)
+	if got.ID != 0 || class != sched.ClassCPU {
+		t.Fatalf("CPU got id=%d class=%v", got.ID, class)
+	}
+}
+
+func TestHybridCoreDAGAwareRouting(t *testing.T) {
+	h, _ := NewHybridCore(1, 1, 10, sched.DAGAwarePolicy{})
+	h.Submit(hybridTask(0, 100, 1))
+	h.Submit(hybridTask(1, 100, 4)) // deep accelerated chain
+	h.Submit(hybridTask(2, 100, 2))
+	got, class, _ := h.Dispatch(0)
+	if got.ID != 1 || class != sched.ClassDSCS {
+		t.Fatalf("DSCS should take the deepest chain, got id=%d", got.ID)
+	}
+	got, _, _ = h.Dispatch(0)
+	if got.ID != 0 {
+		t.Fatalf("CPU should take the shallowest chain, got id=%d", got.ID)
+	}
+}
+
+func TestHybridCoreQueueBound(t *testing.T) {
+	h, _ := NewHybridCore(1, 0, 2, sched.FCFSPolicy{})
+	for i := 0; i < 2; i++ {
+		if !h.Submit(hybridTask(i, 10, 1)) {
+			t.Fatalf("submit %d should fit", i)
+		}
+	}
+	if h.Submit(hybridTask(9, 10, 1)) {
+		t.Fatal("queue bound ignored")
+	}
+	if h.Dropped() != 1 {
+		t.Fatalf("dropped = %d", h.Dropped())
+	}
+}
+
+func TestHybridCoreCompleteReleases(t *testing.T) {
+	h, _ := NewHybridCore(2, 1, 10, sched.FCFSPolicy{})
+	for i := 0; i < 5; i++ {
+		h.Submit(hybridTask(i, 10, 1))
+	}
+	classes := map[sched.InstanceClass]int{}
+	for {
+		_, class, ok := h.Dispatch(0)
+		if !ok {
+			break
+		}
+		classes[class]++
+	}
+	if classes[sched.ClassDSCS] != 1 || classes[sched.ClassCPU] != 2 {
+		t.Fatalf("dispatch mix: %v", classes)
+	}
+	h.Complete(sched.ClassDSCS, 1)
+	if _, class, ok := h.Dispatch(0); !ok || class != sched.ClassDSCS {
+		t.Fatal("freed DSCS instance should dispatch next")
+	}
+	if err := h.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridCoreValidation(t *testing.T) {
+	if _, err := NewHybridCore(0, 0, 10, nil); err == nil {
+		t.Error("empty pool must fail")
+	}
+	if _, err := NewHybridCore(1, 1, 0, nil); err == nil {
+		t.Error("zero queue depth must fail")
+	}
+}
+
+func TestHybridCoreConservationProperty(t *testing.T) {
+	f := func(ops []uint8) bool {
+		h, _ := NewHybridCore(2, 2, 6, sched.CriticalityPolicy{})
+		id := 0
+		inFlight := map[sched.InstanceClass]int{}
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				h.Submit(hybridTask(id, int(op)+1, int(op)%4))
+				id++
+			case 1:
+				if _, class, ok := h.Dispatch(0); ok {
+					inFlight[class]++
+				}
+			case 2:
+				for _, class := range []sched.InstanceClass{sched.ClassCPU, sched.ClassDSCS} {
+					if inFlight[class] > 0 {
+						h.Complete(class, 1)
+						inFlight[class]--
+						break
+					}
+				}
+			}
+			if err := h.Conservation(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPoolCoreOverComplete is the regression test for the silent clamp: a
+// Complete with no busy worker used to clamp free at total and cancel out
+// of the conservation sum; it must now surface as a violation.
+func TestPoolCoreOverComplete(t *testing.T) {
+	core, err := NewPoolCore(2, 4, sched.ClassCPU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.Submit(sched.HybridTask{ID: 0, Payload: "w"})
+	if _, ok := core.Dispatch(0); !ok {
+		t.Fatal("dispatch failed")
+	}
+	core.Complete(1)
+	if err := core.Conservation(); err != nil {
+		t.Fatalf("legitimate complete flagged: %v", err)
+	}
+	core.Complete(1) // caller bug: nothing is running
+	if core.OverCompleted() != 1 {
+		t.Fatalf("overCompleted = %d, want 1", core.OverCompleted())
+	}
+	if err := core.Conservation(); err == nil {
+		t.Fatal("double-complete must violate conservation")
+	}
+}
+
+func TestHybridCoreOverComplete(t *testing.T) {
+	h, _ := NewHybridCore(1, 1, 10, sched.FCFSPolicy{})
+	h.Submit(hybridTask(0, 10, 1))
+	if _, _, ok := h.Dispatch(0); !ok {
+		t.Fatal("dispatch failed")
+	}
+	h.Complete(sched.ClassDSCS, 1)
+	if err := h.Conservation(); err != nil {
+		t.Fatalf("legitimate complete flagged: %v", err)
+	}
+	h.Complete(sched.ClassDSCS, 1) // double-complete on the DSCS class
+	if err := h.Conservation(); err == nil {
+		t.Fatal("double-complete must violate hybrid conservation")
+	}
+}
+
+func TestBatchWindow(t *testing.T) {
+	w := NewBatchWindow(100*time.Millisecond, 50*time.Millisecond, 8, 3)
+	if !w.Open(120 * time.Millisecond) {
+		t.Fatal("window must stay open before the deadline with room left")
+	}
+	w.Add(5)
+	if w.Open(120 * time.Millisecond) {
+		t.Fatal("window must close at target")
+	}
+	w2 := NewBatchWindow(0, 10*time.Millisecond, 8, 1)
+	if w2.Open(10 * time.Millisecond) {
+		t.Fatal("window must close at the deadline")
+	}
+	// Zero linger never opens: the deadline is now.
+	w3 := NewBatchWindow(time.Second, 0, 8, 1)
+	if w3.Open(time.Second) {
+		t.Fatal("zero linger must not open a window")
+	}
+}

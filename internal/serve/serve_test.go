@@ -61,7 +61,7 @@ func TestPoolCoreLifecycle(t *testing.T) {
 	if core.Dropped() != 2 {
 		t.Fatalf("dropped = %d, want 2", core.Dropped())
 	}
-	t1, ok := core.Dispatch()
+	t1, ok := core.Dispatch(0)
 	if !ok || t1.ID != 0 {
 		t.Fatalf("first dispatch = %+v ok=%v, want task 0", t1, ok)
 	}
@@ -70,7 +70,7 @@ func TestPoolCoreLifecycle(t *testing.T) {
 	if len(extra) != 3 {
 		t.Fatalf("coalesced %d tasks, want 3", len(extra))
 	}
-	if _, ok := core.Dispatch(); ok {
+	if _, ok := core.Dispatch(0); ok {
 		t.Fatal("dispatch from empty queue succeeded")
 	}
 	if core.Busy() != 1 || core.Running() != 4 {
@@ -172,7 +172,7 @@ func TestCollectBatchCoalesces(t *testing.T) {
 	enqueue(6, chatbot, faas.Options{Quantile: 0.5, Batch: 4})   // over budget: stays
 	enqueue(7, chatbot, warm)                                    // coalesces (fills the last slot)
 
-	task, ok := core.Dispatch()
+	task, ok := core.Dispatch(0)
 	if !ok || task.ID != 1 {
 		t.Fatalf("dispatch = %+v ok=%v, want task 1", task, ok)
 	}
@@ -353,11 +353,47 @@ func TestEnginePoliciesServeEverything(t *testing.T) {
 }
 
 func TestEstimateOrdersBenchmarks(t *testing.T) {
-	cpu, dscs, accel := estimate(workload.BySlug("chatbot"))
+	eng, err := NewEngine(testRunners(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	cpu, dscs, accel := eng.estimate(workload.BySlug("chatbot"))
 	if cpu <= 0 || dscs <= 0 || cpu <= dscs {
 		t.Errorf("estimate(chatbot) cpu=%v dscs=%v: CPU service must dominate", cpu, dscs)
 	}
 	if accel < 1 {
 		t.Errorf("chatbot accel funcs = %d, want >= 1", accel)
+	}
+}
+
+// TestEstimateCachePerEngine is the regression test for the shared
+// estimate cache: a second engine (or a test redefining a benchmark slug)
+// must not read another engine's cached pricing for that slug.
+func TestEstimateCachePerEngine(t *testing.T) {
+	e1, err := NewEngine(testRunners(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e1.Close()
+	e2, err := NewEngine(testRunners(t), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+
+	cpu1, _, _ := e1.estimate(workload.BySlug("chatbot"))
+	// A "redefined" chatbot: the credit-risk models under the chatbot
+	// slug. With the old package-level cache e2 would return e1's BERT
+	// pricing for it.
+	fake := *workload.BySlug("credit-risk")
+	fake.Slug = "chatbot"
+	cpu2, _, _ := e2.estimate(&fake)
+	if cpu2 == cpu1 {
+		t.Fatalf("engine 2 served engine 1's cached estimate (%v) for a redefined slug", cpu2)
+	}
+	// And e1's own cache is undisturbed.
+	if again, _, _ := e1.estimate(workload.BySlug("chatbot")); again != cpu1 {
+		t.Fatalf("engine 1 estimate changed: %v != %v", again, cpu1)
 	}
 }
