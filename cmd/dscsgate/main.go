@@ -15,9 +15,12 @@
 // criticality, dag-aware), -queue-depth (admission bound; a full queue
 // returns HTTP 429), -max-batch (same-benchmark request coalescing),
 // -batch-linger (how long a dispatch may wait for its batch to fill
-// toward -max-batch), and -spillover-threshold (DSCS queue depth beyond
-// which submissions reroute to the CPU pool; watch serve_spillover_total
-// on /metrics).
+// toward -max-batch), -global-batch/-batch-slo (queue-level SLO-aware
+// batch forming ahead of dispatch; watch serve_batch_formed_total),
+// -spillover-threshold (DSCS queue depth beyond which submissions reroute
+// to the CPU pool; watch serve_spillover_total on /metrics), and
+// -steal-threshold (peer backlog depth beyond which an idle pool pulls the
+// other class's queued work; watch serve_steal_total).
 package main
 
 import (
@@ -38,16 +41,19 @@ import (
 
 func main() {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		seed       = flag.Uint64("seed", 7, "environment seed")
-		deployAll  = flag.Bool("deploy-all", false, "pre-deploy the whole suite")
-		demo       = flag.Bool("demo", false, "run a self-contained request demo and exit")
-		workers    = flag.Int("workers", 4, "worker pool size per platform")
-		policy     = flag.String("policy", "fcfs", "scheduling policy: "+strings.Join(serve.PolicyNames(), ", "))
-		queueDepth = flag.Int("queue-depth", 256, "admission queue bound per platform")
-		maxBatch   = flag.Int("max-batch", serve.DefaultMaxBatch, "max same-benchmark requests coalesced per execution")
-		linger     = flag.Duration("batch-linger", 0, "how long a dispatch may wait for its batch to fill toward -max-batch (0 disables)")
-		spillover  = flag.Int("spillover-threshold", 0, "DSCS queue depth at which submissions spill to the CPU pool (0 disables)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		seed        = flag.Uint64("seed", 7, "environment seed")
+		deployAll   = flag.Bool("deploy-all", false, "pre-deploy the whole suite")
+		demo        = flag.Bool("demo", false, "run a self-contained request demo and exit")
+		workers     = flag.Int("workers", 4, "worker pool size per platform")
+		policy      = flag.String("policy", "fcfs", "scheduling policy: "+strings.Join(serve.PolicyNames(), ", "))
+		queueDepth  = flag.Int("queue-depth", 256, "admission queue bound per platform")
+		maxBatch    = flag.Int("max-batch", serve.DefaultMaxBatch, "max same-benchmark requests coalesced per execution")
+		linger      = flag.Duration("batch-linger", 0, "how long a dispatch may wait for its batch to fill toward -max-batch (0 disables)")
+		spillover   = flag.Int("spillover-threshold", 0, "DSCS queue depth at which submissions spill to the CPU pool (0 disables)")
+		globalBatch = flag.Bool("global-batch", false, "form same-benchmark batches across the whole queue before dispatch (needs -batch-linger)")
+		batchSLO    = flag.Duration("batch-slo", 0, "per-request deadline budget bounding how long -global-batch may hold a forming batch (0 = linger only)")
+		steal       = flag.Int("steal-threshold", 0, "peer queue depth beyond which an idle pool steals the other class's queued work (0 disables)")
 	)
 	flag.Parse()
 
@@ -62,7 +68,10 @@ func main() {
 			QueueDepth:         *queueDepth,
 			MaxBatch:           *maxBatch,
 			BatchLinger:        *linger,
+			GlobalBatch:        *globalBatch,
+			BatchSLO:           *batchSLO,
 			SpilloverThreshold: *spillover,
+			StealThreshold:     *steal,
 		})
 	if err != nil {
 		fail(err)
@@ -81,8 +90,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, spillover %d)\n",
-		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *spillover)
+	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d)\n",
+		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal)
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")

@@ -61,8 +61,8 @@ func TestPublicToolchain(t *testing.T) {
 }
 
 func TestPublicExperimentRegistry(t *testing.T) {
-	if len(dscs.Experiments()) != 20 {
-		t.Fatalf("registry size %d, want 20", len(dscs.Experiments()))
+	if len(dscs.Experiments()) != 21 {
+		t.Fatalf("registry size %d, want 21", len(dscs.Experiments()))
 	}
 	env, err := dscs.NewEnvironment(3)
 	if err != nil {

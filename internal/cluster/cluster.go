@@ -43,6 +43,16 @@ type Config struct {
 	// fill it toward MaxBatch — the same deadline-aware batching decision
 	// the live engine runs, exercised here from the virtual clock.
 	BatchLinger time.Duration
+	// GlobalBatch switches batching from the per-dispatch linger window to
+	// the queue-level serve.BatchFormer: same-benchmark arrivals group
+	// across the whole queue before any instance dispatches, releasing at
+	// MaxBatch, after BatchLinger, or when the oldest member's BatchSLO
+	// slack runs out — the live engine's former driven from the virtual
+	// clock.
+	GlobalBatch bool
+	// BatchSLO is each request's deadline budget for the global former (0
+	// bounds holds by BatchLinger alone).
+	BatchSLO time.Duration
 }
 
 // PaperConfig returns the paper's at-scale parameters.
@@ -64,6 +74,9 @@ type Stats struct {
 	Dropped   int
 	// Batches counts executions; with batching enabled it is <= Completed.
 	Batches int
+	// Formed counts batches released by the queue-level former (0 unless
+	// Config.GlobalBatch).
+	Formed int
 	// LatencySample holds every completed request's wall-clock latency.
 	LatencySample *metrics.Sample
 }
@@ -81,6 +94,11 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	core, err := serve.NewPoolCore(cfg.Instances, cfg.QueueDepth, sched.ClassCPU, cfg.Policy)
 	if err != nil {
 		return nil, err
+	}
+	var former *serve.BatchFormer
+	if cfg.GlobalBatch && cfg.MaxBatch > 1 {
+		former = serve.NewBatchFormer(cfg.MaxBatch, cfg.BatchLinger, cfg.BatchSLO, sched.ClassCPU)
+		core.AttachFormer(former)
 	}
 	st := &Stats{
 		Queue:         metrics.Series{Name: "queued"},
@@ -142,9 +160,32 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		}
 	}
 
+	// lastWake dedups the former's wake events: scheduled events are never
+	// cancelled, so any instant already armed will fire and re-pump.
+	lastWake := time.Duration(-1)
 	pump = func() {
 		for {
 			now := engine.Now()
+			if former != nil {
+				// Queue-level forming: dispatch only batches the former
+				// releases; otherwise arm an event at the earliest due
+				// instant — the virtual-clock analogue of the live
+				// engine's timed worker wait.
+				task, ok, wake, wakeOK := core.DispatchFormed(now)
+				if !ok {
+					if wakeOK && wake != lastWake {
+						lastWake = wake
+						engine.At(wake, func() { pump() })
+					}
+					return
+				}
+				batch := append([]sched.HybridTask{task},
+					core.Coalesce(cfg.MaxBatch-1, func(t sched.HybridTask) bool {
+						return t.Payload == task.Payload
+					})...)
+				execute(batch)
+				continue
+			}
 			task, ok := core.Dispatch(now)
 			if !ok {
 				return
@@ -180,8 +221,12 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
-			admitted := core.Submit(sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark})
-			if admitted && len(open) > 0 {
+			task := sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark}
+			admitted := core.Submit(task)
+			if admitted && former != nil {
+				former.Observe(task, 1)
+			}
+			if admitted && former == nil && len(open) > 0 {
 				// Offer the arrival to open windows before idle instances
 				// see it — the engine's lingering workers do the same.
 				now := engine.Now()
@@ -215,6 +260,9 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 
 	engine.Run()
 	st.Dropped = core.Dropped()
+	if former != nil {
+		st.Formed = former.Formed()
+	}
 	if err := core.Conservation(); err != nil {
 		return nil, err
 	}

@@ -30,6 +30,22 @@ type HybridConfig struct {
 	Jitter float64
 	// SampleEvery sets the telemetry sampling period.
 	SampleEvery time.Duration
+	// SplitQueues gives each class its own backlog
+	// (serve.NewSplitHybridCore), the shape of a deployment where requests
+	// target the accelerated tier: arrivals land on the DSCS backlog and
+	// the CPU side only sees work through spillover or stealing. The
+	// default shared queue (false) reproduces the classic runs bit for
+	// bit.
+	SplitQueues bool
+	// StealThreshold arms pull-based rebalancing over split backlogs: a
+	// class whose own backlog is empty pulls the peer's oldest queued work
+	// once the peer backlog exceeds this depth (0 disables; split layout
+	// only).
+	StealThreshold int
+	// SpilloverThreshold reroutes an arrival onto the CPU backlog at
+	// submit time once the DSCS backlog is this deep (0 disables; split
+	// layout only).
+	SpilloverThreshold int
 }
 
 // HybridStats is the outcome of a hybrid run.
@@ -41,6 +57,10 @@ type HybridStats struct {
 	Dropped   int
 	// OnDSCS counts requests served by DSCS instances.
 	OnDSCS int
+	// Stolen counts tasks rebalanced between class backlogs (split layout).
+	Stolen int
+	// Spilled counts arrivals rerouted to the CPU backlog at submit time.
+	Spilled int
 }
 
 // RunHybrid replays the trace under the configured policy.
@@ -53,7 +73,11 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	}
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(seed)
-	core, err := serve.NewHybridCore(cfg.CPUInstances, cfg.DSCSInstances,
+	newCore := serve.NewHybridCore
+	if cfg.SplitQueues {
+		newCore = serve.NewSplitHybridCore
+	}
+	core, err := newCore(cfg.CPUInstances, cfg.DSCSInstances,
 		cfg.QueueDepth, cfg.Policy)
 	if err != nil {
 		return nil, err
@@ -79,11 +103,44 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 		return sim.LogNormal{Median: base, Sigma: cfg.Jitter}.Sample(rng)
 	}
 
+	// steal is the pull half of rebalancing on split backlogs: a class with
+	// free instances and an empty backlog drains the peer's excess beyond
+	// the threshold, capped at its free capacity.
+	steal := func() int {
+		if !cfg.SplitQueues || cfg.StealThreshold <= 0 {
+			return 0
+		}
+		stole := 0
+		for _, to := range []sched.InstanceClass{sched.ClassCPU, sched.ClassDSCS} {
+			from := sched.ClassDSCS
+			if to == sched.ClassDSCS {
+				from = sched.ClassCPU
+			}
+			thief := core.Class(to)
+			free := thief.Workers() - thief.Busy()
+			if free == 0 || thief.QueueLen() > 0 {
+				continue
+			}
+			excess := core.Class(from).QueueLen() - cfg.StealThreshold
+			if excess <= 0 {
+				continue
+			}
+			if excess < free {
+				free = excess
+			}
+			stole += len(core.Steal(from, to, free))
+		}
+		return stole
+	}
+
 	var pump func()
 	pump = func() {
 		for {
 			task, class, ok := core.Dispatch(engine.Now())
 			if !ok {
+				if steal() > 0 {
+					continue
+				}
 				return
 			}
 			if class == sched.ClassDSCS {
@@ -103,10 +160,25 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 		req := r
 		engine.At(req.At, func() {
 			cpu, dscs, accel := cfg.Service(req.Benchmark)
-			core.Submit(sched.HybridTask{
+			task := sched.HybridTask{
 				ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark,
 				CPUService: cpu, DSCSService: dscs, AccelFuncs: accel,
-			})
+			}
+			if cfg.SplitQueues {
+				// Arrivals target the accelerated backlog; past the
+				// spillover threshold they land on the CPU backlog instead
+				// — the same submit-time reroute the live engine applies.
+				class := sched.ClassDSCS
+				if cfg.SpilloverThreshold > 0 &&
+					core.Class(sched.ClassDSCS).QueueLen() >= cfg.SpilloverThreshold {
+					class = sched.ClassCPU
+				}
+				if core.SubmitTo(class, task) && class == sched.ClassCPU {
+					st.Spilled++
+				}
+			} else {
+				core.Submit(task)
+			}
 			pump()
 		})
 	}
@@ -120,6 +192,7 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 
 	engine.Run()
 	st.Dropped = core.Dropped()
+	st.Stolen = core.Stolen()
 	if err := core.Conservation(); err != nil {
 		return nil, err
 	}

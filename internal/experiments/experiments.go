@@ -66,6 +66,7 @@ func All() []Spec {
 		{"fig16", "Sensitivity to the number of accelerated functions", Fig16},
 		{"fig17", "Sensitivity to cold vs. warm containers", Fig17},
 		{"ext-sched", "Extension: Section 5.3 scheduling policies", ExtScheduling},
+		{"ext-batchform", "Extension: global SLO-aware batch forming (Fig 14 regime)", ExtBatchFormer},
 		{"ext-memcache", "Extension: keep-warm DSA memory with P2P reloads", ExtMemcache},
 		{"ext-scatter", "Extension: parallel execution across CSDs", ExtScatter},
 		{"ext-failover", "Extension: drive failure, fallback, re-replication", ExtFailover},

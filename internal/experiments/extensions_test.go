@@ -48,6 +48,38 @@ func TestExtScheduling(t *testing.T) {
 	}
 }
 
+func TestExtBatchFormer(t *testing.T) {
+	res := runExt(t, "ext-batchform")
+	// Batching is what makes the bursty load servable: amortization buys
+	// an order of magnitude of mean latency.
+	if g := res.Value("batching_gain"); g < 5 {
+		t.Errorf("batching gain = %.2fx, want >= 5x", g)
+	}
+	// The queue-level former beats the per-dispatch window: it groups the
+	// same arrivals without holding a worker hostage for the linger.
+	if g := res.Value("former_latency_gain"); g <= 1.0 {
+		t.Errorf("former latency gain = %.3fx over the per-dispatch window, want > 1", g)
+	}
+	// The SLO cap cuts the tail sharply relative to the uncapped window.
+	if g := res.Value("slo_p99_gain"); g < 1.5 {
+		t.Errorf("SLO p99 gain = %.2fx, want >= 1.5x", g)
+	}
+	// Forming actually happened, and every mode served everything.
+	if res.Value("formed/former") <= 0 {
+		t.Error("the former formed no batches")
+	}
+	for _, k := range []string{"none", "linger", "former", "former_slo"} {
+		if res.Value("per_exec/"+k) < 1 {
+			t.Errorf("mode %s: requests per execution below 1", k)
+		}
+	}
+	// The amortization ordering: batching modes coalesce, no-batching
+	// serves one request per execution.
+	if res.Value("per_exec/linger") <= 2 || res.Value("per_exec/former") <= 2 {
+		t.Error("batching modes should coalesce well above 2 requests/execution")
+	}
+}
+
 func TestExtMemcache(t *testing.T) {
 	res := runExt(t, "ext-memcache")
 	// The skewed mix keeps hot functions resident...

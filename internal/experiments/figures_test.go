@@ -307,8 +307,8 @@ func TestFig17ColdStart(t *testing.T) {
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	specs := All()
-	if len(specs) != 20 {
-		t.Fatalf("registry has %d experiments, want 20 (2 tables + 13 figures + 5 extensions)", len(specs))
+	if len(specs) != 21 {
+		t.Fatalf("registry has %d experiments, want 21 (2 tables + 13 figures + 6 extensions)", len(specs))
 	}
 	seen := map[string]bool{}
 	for _, s := range specs {

@@ -134,7 +134,10 @@ func (s *Store) ReReplicate(failedID string) (chunks int, moved units.Bytes, err
 			}
 			off := target.nextOffset
 			target.nextOffset += int64(s.cfg.ChunkSize)
-			target.Drive().HostWrite(off, chunk.Size)
+			// The arbitration-aware path: a repair write against a
+			// DSCS-Drive whose DSA is mid-execution pays the same penalty
+			// as any other conventional I/O.
+			target.hostWrite(off, chunk.Size)
 			chunk.Replicas[idx] = Replica{NodeID: target.ID, Offset: off}
 			chunks++
 			moved += chunk.Size

@@ -15,6 +15,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
@@ -120,8 +121,26 @@ func (q *HybridQueue) Len() int { return len(q.tasks) }
 // Full reports whether the next Submit would drop.
 func (q *HybridQueue) Full() bool { return len(q.tasks) >= q.depth }
 
+// Room is the number of Submits the bound still admits.
+func (q *HybridQueue) Room() int {
+	if len(q.tasks) >= q.depth {
+		return 0
+	}
+	return q.depth - len(q.tasks)
+}
+
 // Dropped counts rejected tasks.
 func (q *HybridQueue) Dropped() int { return q.dropped }
+
+// Head returns the oldest queued task without removing it. The queue
+// preserves arrival order, so the head is what the starvation aging bound
+// (AgingMultiple) is measured against.
+func (q *HybridQueue) Head() (HybridTask, bool) {
+	if len(q.tasks) == 0 {
+		return HybridTask{}, false
+	}
+	return q.tasks[0], true
+}
 
 // removeAt extracts index i preserving arrival order of the rest.
 func (q *HybridQueue) removeAt(i int) HybridTask {
@@ -148,6 +167,48 @@ func (q *HybridQueue) TakeWhere(max int, match func(HybridTask) bool) []HybridTa
 	}
 	q.tasks = kept
 	return taken
+}
+
+// TakePrefix removes and returns up to max tasks from the head of the
+// queue, stopping at the first task the predicate rejects. This is the
+// steal path's extraction: a rebalancing pull drains the oldest backlog
+// contiguously, so the donor queue keeps its arrival order and the aging
+// bound stays measured against a genuine oldest task. A nil predicate
+// accepts everything.
+func (q *HybridQueue) TakePrefix(max int, match func(HybridTask) bool) []HybridTask {
+	if max <= 0 {
+		return nil
+	}
+	n := 0
+	for n < max && n < len(q.tasks) {
+		if match != nil && !match(q.tasks[n]) {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	taken := append([]HybridTask(nil), q.tasks[:n]...)
+	q.tasks = append(q.tasks[:0], q.tasks[n:]...)
+	return taken
+}
+
+// Restore reinserts a task that was removed (a policy pick the caller
+// decided not to dispatch, or a task arriving via a steal), placing it by
+// (Arrived, ID) so the queue's oldest-first invariant holds. It bypasses
+// the admission bound: the task was already admitted somewhere, and a
+// rebalance must never turn into a drop.
+func (q *HybridQueue) Restore(t HybridTask) {
+	i := sort.Search(len(q.tasks), func(i int) bool {
+		if q.tasks[i].Arrived != t.Arrived {
+			return q.tasks[i].Arrived > t.Arrived
+		}
+		return q.tasks[i].ID > t.ID
+	})
+	q.tasks = append(q.tasks, HybridTask{})
+	copy(q.tasks[i+1:], q.tasks[i:])
+	q.tasks[i] = t
 }
 
 // FCFSPolicy is the deployed policy: head of line, any class.

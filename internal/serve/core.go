@@ -37,6 +37,11 @@ type PoolCore struct {
 	// owned by a HybridCore; its per-core Conservation skips the
 	// submission balance, which only holds across the class pair.
 	sharedQueue bool
+	// former, when attached, gates DispatchFormed: the queue-level batch
+	// former that groups arrivals ahead of dispatch.
+	former *BatchFormer
+	// stolenIn/stolenOut count tasks moved by the rebalancing pull path.
+	stolenIn, stolenOut int
 }
 
 // NewPoolCore builds a pool of the given worker count and admission bound.
@@ -60,6 +65,13 @@ func NewPoolCore(workers, queueDepth int, class sched.InstanceClass, policy sche
 
 // Policy returns the pool's scheduling policy.
 func (c *PoolCore) Policy() sched.Policy { return c.policy }
+
+// AttachFormer gives the pool a queue-level batch former; DispatchFormed
+// consults it. Callers must then Observe every admitted task on it.
+func (c *PoolCore) AttachFormer(f *BatchFormer) { c.former = f }
+
+// Former returns the attached batch former (nil when none).
+func (c *PoolCore) Former() *BatchFormer { return c.former }
 
 // Submit admits a task; it reports false (drop) at the queue bound.
 func (c *PoolCore) Submit(t sched.HybridTask) bool {
@@ -86,6 +98,90 @@ func (c *PoolCore) Dispatch(now time.Duration) (sched.HybridTask, bool) {
 	c.running++
 	return t, true
 }
+
+// DispatchFormed is Dispatch gated by the attached BatchFormer: the
+// policy's pick dispatches only when its forming group is ready at now (it
+// reached the target size, lingered out, or ran out of deadline slack).
+// An unready pick is restored to the queue; if another payload's group is
+// due, its oldest member dispatches instead. When nothing dispatches, wake
+// (valid when wakeOK) is the earliest instant a forming group comes due,
+// so the caller knows when to drive the core again — a timed wait on the
+// engine, a scheduled event in the simulation. Without an attached former
+// it behaves exactly like Dispatch.
+func (c *PoolCore) DispatchFormed(now time.Duration) (t sched.HybridTask, ok bool, wake time.Duration, wakeOK bool) {
+	if c.former == nil {
+		t, ok = c.Dispatch(now)
+		return t, ok, 0, false
+	}
+	if c.free == 0 {
+		return sched.HybridTask{}, false, 0, false
+	}
+	pick, ok := c.policy.Pick(c.queue, c.class, now)
+	if !ok {
+		return sched.HybridTask{}, false, 0, false
+	}
+	if c.former.Ready(pick.Payload, now) {
+		c.former.Close(pick.Payload)
+		c.free--
+		c.running++
+		return pick, true, 0, false
+	}
+	c.queue.Restore(pick)
+	// The policy's preference is still forming; serve a group that is due
+	// instead, oldest member first. A group whose members all left the
+	// queue by another door is stale — drop it and look again.
+	for {
+		payload, due := c.former.DuePayload(now)
+		if !due {
+			break
+		}
+		taken := c.queue.TakeWhere(1, func(x sched.HybridTask) bool { return x.Payload == payload })
+		if len(taken) == 0 {
+			c.former.Drop(payload) // stale group: no queued member left
+			continue
+		}
+		c.former.Close(payload)
+		c.free--
+		c.running++
+		return taken[0], true, 0, false
+	}
+	wake, wakeOK = c.former.NextDue()
+	return sched.HybridTask{}, false, wake, wakeOK
+}
+
+// StealFrom moves up to max of donor's oldest queued tasks onto c's queue
+// — the pull half of queue rebalancing, complementing submit-time
+// spillover with drain-time balance. Tasks keep their Arrived instants, so
+// the starvation aging bound (sched.AgingMultiple) follows them across
+// classes, and they merge into c's queue by arrival order so the thief's
+// oldest-first invariant holds too. Submission accounting moves with the
+// tasks: the donor no longer counts them, the thief does, and a donor-side
+// batch former sheds them. The move is capped at the thief's queue room —
+// a rebalance must never turn into a drop. It returns the moved tasks.
+func (c *PoolCore) StealFrom(donor *PoolCore, max int) []sched.HybridTask {
+	if donor == nil || donor == c || donor.queue == c.queue {
+		return nil
+	}
+	if room := c.queue.Room(); max > room {
+		max = room
+	}
+	moved := donor.queue.TakePrefix(max, nil)
+	for _, t := range moved {
+		c.queue.Restore(t)
+		if donor.former != nil {
+			donor.former.Shed(t.Payload, 1)
+		}
+	}
+	donor.submitted -= len(moved)
+	donor.stolenOut += len(moved)
+	c.submitted += len(moved)
+	c.stolenIn += len(moved)
+	return moved
+}
+
+// StolenIn and StolenOut count tasks moved by the rebalancing pull path.
+func (c *PoolCore) StolenIn() int  { return c.stolenIn }
+func (c *PoolCore) StolenOut() int { return c.stolenOut }
 
 // Coalesce removes up to max additional queued tasks matching the
 // predicate and assigns them to the worker that just dispatched — the
@@ -157,14 +253,26 @@ func (c *PoolCore) Conservation() error {
 }
 
 // HybridCore is the two-class scheduling state machine of the paper's
-// Section 5.3 heterogeneous pool: one bounded queue drained by a pluggable
-// policy into a CPU-class and a DSCS-class PoolCore. It replaces the
-// retired sched.HybridScheduler, so the discrete-event hybrid simulation
+// Section 5.3 heterogeneous pool. It replaces the retired
+// sched.HybridScheduler, so the discrete-event hybrid simulation
 // (cluster.RunHybrid) and the live engine's single-class pools share the
 // same pool-accounting code. Like PoolCore it owns no goroutines and no
 // clock; callers inject now into Dispatch.
+//
+// It runs in one of two layouts. The classic layout (NewHybridCore) is one
+// bounded queue drained by a pluggable policy into a CPU-class and a
+// DSCS-class PoolCore — both classes see every queued task, so neither can
+// idle while work waits. The split layout (NewSplitHybridCore) gives each
+// class its own backlog, the shape of a real deployment where requests
+// target the accelerated tier: SubmitTo lands work on one class's queue,
+// Dispatch drains only a class's own backlog, and Steal is the pull-based
+// rebalancing that lets an idle class drain the other's backlog instead of
+// starving beside it.
 type HybridCore struct {
+	// queue is the shared admission queue in the classic layout; nil when
+	// split, where each class PoolCore owns its own queue.
 	queue     *sched.HybridQueue
+	split     bool
 	cpu, dscs *PoolCore
 	submitted int
 }
@@ -199,13 +307,70 @@ func NewHybridCore(cpuWorkers, dscsWorkers, queueDepth int, policy sched.Policy)
 	}, nil
 }
 
-// Submit admits a task; it reports false (drop) at the queue bound.
+// NewSplitHybridCore builds the heterogeneous pool with per-class
+// backlogs, each bounded at queueDepth. A nil policy defaults to FCFS.
+func NewSplitHybridCore(cpuWorkers, dscsWorkers, queueDepth int, policy sched.Policy) (*HybridCore, error) {
+	if cpuWorkers < 0 || dscsWorkers < 0 || cpuWorkers+dscsWorkers == 0 {
+		return nil, fmt.Errorf("serve: empty hybrid pool")
+	}
+	if policy == nil {
+		policy = sched.FCFSPolicy{}
+	}
+	cpuQ, err := sched.NewHybridQueue(queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	dscsQ, err := sched.NewHybridQueue(queueDepth)
+	if err != nil {
+		return nil, err
+	}
+	return &HybridCore{
+		split: true,
+		cpu:   &PoolCore{queue: cpuQ, policy: policy, class: sched.ClassCPU, free: cpuWorkers, total: cpuWorkers},
+		dscs:  &PoolCore{queue: dscsQ, policy: policy, class: sched.ClassDSCS, free: dscsWorkers, total: dscsWorkers},
+	}, nil
+}
+
+// Split reports whether the core runs per-class backlogs.
+func (h *HybridCore) Split() bool { return h.split }
+
+// Submit admits a task; it reports false (drop) at the queue bound. On a
+// split core it lands on the DSCS backlog (the accelerated tier requests
+// target); use SubmitTo to route explicitly.
 func (h *HybridCore) Submit(t sched.HybridTask) bool {
+	if h.split {
+		return h.SubmitTo(sched.ClassDSCS, t)
+	}
 	if !h.queue.Submit(t) {
 		return false
 	}
 	h.submitted++
 	return true
+}
+
+// SubmitTo admits a task onto one class's backlog (split layout; on a
+// classic core the shared queue ignores the class). It reports false
+// (drop) at that backlog's bound.
+func (h *HybridCore) SubmitTo(class sched.InstanceClass, t sched.HybridTask) bool {
+	if !h.split {
+		return h.Submit(t)
+	}
+	if !h.Class(class).Submit(t) {
+		return false
+	}
+	h.submitted++
+	return true
+}
+
+// Steal moves up to max of the from class's oldest queued tasks onto the
+// to class's backlog — the pull half of rebalancing on a split core. The
+// tasks keep their arrival instants, so the aging bound follows them. A
+// classic core has one shared queue and nothing to steal; it returns nil.
+func (h *HybridCore) Steal(from, to sched.InstanceClass, max int) []sched.HybridTask {
+	if !h.split || from == to {
+		return nil
+	}
+	return h.Class(to).StealFrom(h.Class(from), max)
 }
 
 // Dispatch assigns work to a free worker, preferring DSCS capacity (it
@@ -234,11 +399,24 @@ func (h *HybridCore) Complete(class sched.InstanceClass, n int) {
 	h.Class(class).Complete(n)
 }
 
-// QueueLen reports queue occupancy.
-func (h *HybridCore) QueueLen() int { return h.queue.Len() }
+// QueueLen reports queue occupancy (both backlogs on a split core).
+func (h *HybridCore) QueueLen() int {
+	if h.split {
+		return h.cpu.QueueLen() + h.dscs.QueueLen()
+	}
+	return h.queue.Len()
+}
 
-// Dropped counts admission rejections.
-func (h *HybridCore) Dropped() int { return h.queue.Dropped() }
+// Dropped counts admission rejections (both backlogs on a split core).
+func (h *HybridCore) Dropped() int {
+	if h.split {
+		return h.cpu.Dropped() + h.dscs.Dropped()
+	}
+	return h.queue.Dropped()
+}
+
+// Stolen counts tasks rebalanced between the class backlogs.
+func (h *HybridCore) Stolen() int { return h.cpu.stolenIn + h.dscs.stolenIn }
 
 // Busy reports occupied workers per class.
 func (h *HybridCore) Busy() (cpu, dscs int) {
@@ -257,10 +435,10 @@ func (h *HybridCore) Conservation() error {
 			return fmt.Errorf("%s class: %w", c.class, err)
 		}
 	}
-	accounted := h.queue.Len() + h.cpu.running + h.dscs.running + h.Completed()
+	accounted := h.QueueLen() + h.cpu.running + h.dscs.running + h.Completed()
 	if h.submitted != accounted {
 		return fmt.Errorf("serve: hybrid conservation violated: %d submitted != %d queued + %d+%d running + %d completed",
-			h.submitted, h.queue.Len(), h.cpu.running, h.dscs.running, h.Completed())
+			h.submitted, h.QueueLen(), h.cpu.running, h.dscs.running, h.Completed())
 	}
 	return nil
 }

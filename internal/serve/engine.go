@@ -4,15 +4,19 @@
 // with the pluggable policies of internal/sched (FCFS / criticality-aware /
 // DAG-aware), and request batching that coalesces same-benchmark
 // invocations into one DSA execution up to the profitable batch size
-// (Figure 14's regime) — optionally lingering (BatchLinger) to let the
-// batch fill toward that size. DSCS-class submissions can spill over to a
-// CPU pool when the accelerated queue is deep (SpilloverThreshold), and
-// DSCS executions occupy one physical DSCS-Drive each, so drive-level
+// (Figure 14's regime) — per-dispatch lingering (BatchLinger) or the
+// queue-level SLO-aware BatchFormer (GlobalBatch/BatchSLO) that groups
+// arrivals across the whole queue before any worker dispatches. Queued
+// work rebalances in both directions: DSCS-class submissions spill over to
+// a CPU pool when the accelerated queue is deep (SpilloverThreshold,
+// submit-time push), and an idle pool steals the other class's backlog
+// past StealThreshold (drain-time pull, serve_steal_total{from,to}). DSCS
+// executions occupy one physical DSCS-Drive each, so drive-level
 // contention and the arbitration penalty on concurrent storage I/O show up
 // in live metrics. The discrete-event at-scale simulation
-// (internal/cluster) drives the same cores and BatchWindow from its virtual
-// clock, so the simulated rack and the live HTTP path share one scheduler
-// implementation.
+// (internal/cluster) drives the same cores, windows, and former from its
+// virtual clock, so the simulated rack and the live HTTP path share one
+// scheduler implementation.
 package serve
 
 import (
@@ -65,6 +69,23 @@ type Options struct {
 	// same-benchmark batch to fill toward MaxBatch instead of coalescing
 	// only what already queued (0, the default, disables lingering).
 	BatchLinger time.Duration
+	// GlobalBatch replaces the per-dispatch linger window with the
+	// queue-level BatchFormer: same-benchmark arrivals group across the
+	// whole queue before dispatch, and a batch is released once it reaches
+	// MaxBatch, its oldest member has waited BatchLinger, or that member's
+	// BatchSLO slack is exhausted. Needs MaxBatch > 1 and BatchLinger > 0
+	// to hold anything.
+	GlobalBatch bool
+	// BatchSLO is each request's deadline budget for the global former: a
+	// forming batch dispatches no later than its oldest member's arrival +
+	// BatchSLO - expected service, so occupancy never costs an SLO (0
+	// bounds holds by BatchLinger alone).
+	BatchSLO time.Duration
+	// StealThreshold arms pull-based queue rebalancing: a worker whose own
+	// dispatch comes up empty pulls queued work from the deepest pool of
+	// the other class once that backlog exceeds this depth, counted as
+	// serve_steal_total{from,to} (0, the default, disables stealing).
+	StealThreshold int
 	// SpilloverThreshold routes a submission aimed at a DSCS-class pool
 	// to a CPU-class pool once the DSCS queue has reached this depth —
 	// the scarce accelerated capacity stays for work already committed to
@@ -126,10 +147,13 @@ type Invocation struct {
 	BatchSize     int
 }
 
-// outcome is what a worker delivers back to a blocked submitter.
+// outcome is what a worker delivers back to a blocked submitter. platform
+// names the pool that actually executed the request — with stealing a
+// request can be served by a different pool than the one that admitted it.
 type outcome struct {
 	res           faas.Result
 	err           error
+	platform      string
 	queued        time.Duration
 	batchRequests int
 	batchSize     int
@@ -339,6 +363,15 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 			}
 		}
 	}
+	if opt.GlobalBatch && opt.MaxBatch > 1 {
+		for _, p := range e.pools {
+			p.core.AttachFormer(NewBatchFormer(opt.MaxBatch, opt.BatchLinger, opt.BatchSLO, p.class))
+		}
+		e.tel.Inc("serve_batch_formed_total", 0)
+	}
+	if opt.StealThreshold > 0 {
+		e.tel.Inc("serve_steal_total", 0)
+	}
 	e.drives = newDriveSet(dscsStores)
 	for _, id := range e.drives.ids {
 		e.tel.Set("serve_drive_busy{drive="+id+"}", 0)
@@ -473,9 +506,22 @@ func (e *Engine) admit(p *pool, task sched.HybridTask, req *request, bounceIfFul
 		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
 		return ErrQueueFull
 	}
+	if f := p.core.Former(); f != nil {
+		f.Observe(task, reqBatch(req.opt))
+	}
 	p.pending[task.ID] = req
 	e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
 	p.cond.Signal()
+	if e.opt.StealThreshold > 0 && p.core.QueueLen() > e.opt.StealThreshold {
+		// Pull-based rebalancing is driven by the thief, so a worker
+		// parked on its own empty queue must hear the peer backlog deepen.
+		// (Signaling a Cond without its lock is explicitly allowed.)
+		for _, d := range e.pools {
+			if d.class != p.class {
+				d.cond.Signal()
+			}
+		}
+	}
 	return nil
 }
 
@@ -543,6 +589,11 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 	out := <-req.done
 	if out.err != nil {
 		return Invocation{}, out.err
+	}
+	if out.platform != "" {
+		// A steal can move the request after admission; report the pool
+		// that actually served it.
+		platformName = out.platform
 	}
 	return Invocation{
 		Result:        out.res,
@@ -632,25 +683,138 @@ func lingerSlice(linger time.Duration) time.Duration {
 	return slice
 }
 
+// stealInto pulls queued work from the deepest pool of the other class
+// whose backlog exceeds StealThreshold into p — the drain-time half of
+// rebalancing, complementing submit-time spillover. The caller holds p.mu;
+// stealInto releases it and retakes both pool locks in name order (the
+// engine-wide lock order), so two pools stealing from each other cannot
+// deadlock. It returns how many requests moved; p.mu is held again on
+// return.
+func (e *Engine) stealInto(p *pool) int {
+	p.mu.Unlock()
+	var donor *pool
+	deepest := e.opt.StealThreshold
+	for _, d := range e.pools {
+		if d == p || d.class == p.class {
+			continue
+		}
+		d.mu.Lock()
+		depth := d.core.QueueLen()
+		d.mu.Unlock()
+		if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
+			donor, deepest = d, depth
+		}
+	}
+	if donor == nil {
+		p.mu.Lock()
+		return 0
+	}
+	first, second := p, donor
+	if second.name < first.name {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	second.mu.Lock()
+	moved := 0
+	// Re-check under both locks: the backlog may have drained, or the
+	// engine may be closing, since the unlocked scan.
+	if !p.closed && !donor.closed && donor.core.QueueLen() > e.opt.StealThreshold {
+		tasks := p.core.StealFrom(donor.core, e.opt.MaxBatch)
+		for _, t := range tasks {
+			if r := donor.pending[t.ID]; r != nil {
+				delete(donor.pending, t.ID)
+				p.pending[t.ID] = r
+				if f := donor.core.Former(); f != nil && reqBatch(r.opt) > 1 {
+					// StealFrom shed one unit per task; shed the rest of
+					// this request's model batch from the forming group.
+					f.Shed(t.Payload, reqBatch(r.opt)-1)
+				}
+			}
+		}
+		moved = len(tasks)
+		if moved > 0 {
+			// Sibling workers of the thief pool may be parked; the stolen
+			// backlog is work for them too.
+			p.cond.Broadcast()
+			e.tel.Inc("serve_steal_total", float64(moved))
+			e.tel.Inc("serve_steal_total{from="+donor.name+",to="+p.name+"}", float64(moved))
+			// A steal extracts queued tasks just like Coalesce does: both
+			// pools' depth gauges must follow.
+			e.tel.Set("serve_queue_depth{platform="+donor.name+"}", float64(donor.core.QueueLen()))
+			e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+		}
+	}
+	donor.mu.Unlock()
+	return moved
+}
+
+// dispatch selects p's next task at now, honoring an attached batch
+// former. Callers hold p.mu. When nothing dispatches, wait (valid when
+// waitOK) is how long the worker should sleep before re-driving the core —
+// a forming batch is filling and will come due. formed reports whether
+// this dispatch released a formed group (as opposed to group-less work:
+// post-close leftovers, stolen-in tasks, or the shutdown drain), so the
+// serve_batch_formed_total counter matches BatchFormer.Formed and the
+// simulation's Stats.Formed.
+func (e *Engine) dispatch(p *pool, now time.Duration) (task sched.HybridTask, ok bool, wait time.Duration, waitOK, formed bool) {
+	f := p.core.Former()
+	if f == nil || p.closed {
+		// No former, or draining at shutdown: serve immediately, holding
+		// nothing back.
+		task, ok = p.core.Dispatch(now)
+		return task, ok, 0, false, false
+	}
+	before := f.Formed()
+	task, ok, wake, wakeOK := p.core.DispatchFormed(now)
+	if ok || !wakeOK {
+		return task, ok, 0, false, ok && f.Formed() > before
+	}
+	return sched.HybridTask{}, false, wake - now, true, false
+}
+
 // worker is one pool goroutine: dispatch via the shared core, coalesce a
-// batch (lingering up to BatchLinger for it to fill toward MaxBatch),
-// execute run-to-completion, deliver outcomes.
+// batch (lingering up to BatchLinger for it to fill toward MaxBatch, or
+// waiting on the global former's queue-level batch), stealing from the
+// other class's backlog when its own queue is empty, execute
+// run-to-completion, deliver outcomes.
 func (e *Engine) worker(p *pool) {
 	defer e.wg.Done()
 	p.mu.Lock()
 	for {
 		now := e.now()
-		task, ok := p.core.Dispatch(now)
+		task, ok, wait, waitOK, formed := e.dispatch(p, now)
 		if !ok {
+			if waitOK {
+				// A batch is forming; wake when it fills or comes due.
+				p.mu.Unlock()
+				if slice := lingerSlice(e.opt.BatchLinger); wait > slice {
+					wait = slice
+				}
+				if wait < 50*time.Microsecond {
+					wait = 50 * time.Microsecond
+				}
+				time.Sleep(wait)
+				p.mu.Lock()
+				continue
+			}
 			if p.closed {
 				p.mu.Unlock()
 				return
+			}
+			if e.opt.StealThreshold > 0 {
+				stole := e.stealInto(p)
+				// Re-check before parking: stealInto dropped p.mu, so a
+				// submission may have signaled into the gap and its wakeup
+				// would otherwise be lost.
+				if stole > 0 || p.core.QueueLen() > 0 || p.closed {
+					continue
+				}
 			}
 			p.cond.Wait()
 			continue
 		}
 		bs := e.newBatch(p, task)
-		if e.opt.BatchLinger > 0 && e.opt.MaxBatch > 1 {
+		if e.opt.BatchLinger > 0 && e.opt.MaxBatch > 1 && p.core.Former() == nil {
 			// Deadline-aware batching: the same BatchWindow decision the
 			// discrete-event simulation drives from its virtual clock,
 			// here fed wall time and slept in slices.
@@ -705,10 +869,14 @@ func (e *Engine) worker(p *pool) {
 		e.tel.Inc("serve_batched_requests_total", float64(len(bs.reqs)))
 		e.tel.Set("serve_batch_occupancy{platform="+p.name+"}", float64(bs.batch))
 		e.tel.Inc("serve_completed_total", float64(len(bs.reqs)))
+		if formed {
+			e.tel.Inc("serve_batch_formed_total", 1)
+			e.tel.Inc("serve_batch_formed_total{platform="+p.name+"}", 1)
+		}
 		for _, r := range bs.reqs {
 			wait := dispatched.Sub(r.enq)
 			e.tel.Inc("serve_wait_ms_total", float64(wait)/float64(time.Millisecond))
-			r.done <- outcome{res: res, err: err, queued: wait,
+			r.done <- outcome{res: res, err: err, platform: p.name, queued: wait,
 				batchRequests: len(bs.reqs), batchSize: bs.batch}
 		}
 		p.mu.Lock()
