@@ -18,9 +18,13 @@
 // toward -max-batch), -global-batch/-batch-slo (queue-level SLO-aware
 // batch forming ahead of dispatch; watch serve_batch_formed_total),
 // -spillover-threshold (DSCS queue depth beyond which submissions reroute
-// to the CPU pool; watch serve_spillover_total on /metrics), and
+// to the CPU pool; watch serve_spillover_total on /metrics),
 // -steal-threshold (peer backlog depth beyond which an idle pool pulls the
-// other class's queued work; watch serve_steal_total).
+// other class's queued work; watch serve_steal_total), and
+// -adaptive-estimates/-estimate-warmup (price batching and policy
+// decisions with live latency digests instead of the static model-derived
+// estimates once a benchmark has enough observations; watch the
+// serve_latency_p50/p95/p99 gauges).
 package main
 
 import (
@@ -36,6 +40,7 @@ import (
 	"dscs"
 	"dscs/internal/faas"
 	"dscs/internal/gateway"
+	"dscs/internal/metrics"
 	"dscs/internal/serve"
 )
 
@@ -54,6 +59,8 @@ func main() {
 		globalBatch = flag.Bool("global-batch", false, "form same-benchmark batches across the whole queue before dispatch (needs -batch-linger)")
 		batchSLO    = flag.Duration("batch-slo", 0, "per-request deadline budget bounding how long -global-batch may hold a forming batch (0 = linger only)")
 		steal       = flag.Int("steal-threshold", 0, "peer queue depth beyond which an idle pool steals the other class's queued work (0 disables)")
+		adaptive    = flag.Bool("adaptive-estimates", false, "price batching and policy decisions with live latency digests once warmed (static estimates stay the cold-start prior)")
+		warmup      = flag.Int("estimate-warmup", metrics.DefaultWarmup, "per-{benchmark,platform} completions before live estimates replace the static prior")
 	)
 	flag.Parse()
 
@@ -72,6 +79,8 @@ func main() {
 			BatchSLO:           *batchSLO,
 			SpilloverThreshold: *spillover,
 			StealThreshold:     *steal,
+			AdaptiveEstimates:  *adaptive,
+			EstimateWarmup:     *warmup,
 		})
 	if err != nil {
 		fail(err)
@@ -90,8 +99,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d)\n",
-		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal)
+	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d, adaptive %v)\n",
+		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal, *adaptive)
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")

@@ -53,7 +53,24 @@ type Config struct {
 	// BatchSLO is each request's deadline budget for the global former (0
 	// bounds holds by BatchLinger alone).
 	BatchSLO time.Duration
+	// StaticEstimate is the scheduler's static per-benchmark service
+	// prior: tasks are priced with it, so the former's BatchSLO slack has
+	// a service term (nil leaves tasks unpriced, the earlier behavior).
+	StaticEstimate func(slug string) time.Duration
+	// AdaptiveEstimates prices the former's BatchSLO slack with live
+	// latency digests (observed p95, metrics.Observatory with warmup and
+	// hysteresis) instead of StaticEstimate once warmed — the same code
+	// the live engine runs with serve.Options.AdaptiveEstimates, driven
+	// here from the virtual clock.
+	AdaptiveEstimates bool
+	// EstimateWarmup and EstimateWindow tune the digests (defaults
+	// metrics.DefaultWarmup / metrics.DefaultWindow).
+	EstimateWarmup, EstimateWindow int
 }
+
+// simPlatform keys the simulation's digests: the rack has one simulated
+// pool, where the live engine has named platforms.
+const simPlatform = "sim"
 
 // PaperConfig returns the paper's at-scale parameters.
 func PaperConfig(service ServiceModel) Config {
@@ -77,6 +94,10 @@ type Stats struct {
 	// Formed counts batches released by the queue-level former (0 unless
 	// Config.GlobalBatch).
 	Formed int
+	// WithinSLO counts completions whose wall-clock latency fit the
+	// BatchSLO budget (0 when Config.BatchSLO is unset) — the adaptive-
+	// estimation goldens compare it across pricing regimes.
+	WithinSLO int
 	// LatencySample holds every completed request's wall-clock latency.
 	LatencySample *metrics.Sample
 }
@@ -95,9 +116,18 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	if err != nil {
 		return nil, err
 	}
+	var obs *metrics.Observatory
+	if cfg.AdaptiveEstimates {
+		obs = metrics.NewObservatory(cfg.EstimateWindow, cfg.EstimateWarmup)
+	}
 	var former *serve.BatchFormer
 	if cfg.GlobalBatch && cfg.MaxBatch > 1 {
 		former = serve.NewBatchFormer(cfg.MaxBatch, cfg.BatchLinger, cfg.BatchSLO, sched.ClassCPU)
+		if obs != nil {
+			former.SetEstimator(func(payload string, static time.Duration) time.Duration {
+				return obs.ServiceQuantile(payload, simPlatform, static, 0.95)
+			})
+		}
 		core.AttachFormer(former)
 	}
 	st := &Stats{
@@ -118,9 +148,17 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		engine.After(service, func() {
 			core.Complete(len(tasks))
 			st.Batches++
+			if obs != nil {
+				// The digest learns the true service time at completion —
+				// the same observe-on-complete the live engine does.
+				obs.Record(tasks[0].Payload, simPlatform, service)
+			}
 			for _, t := range tasks {
 				lat := engine.Now() - t.Arrived
 				st.Completed++
+				if cfg.BatchSLO > 0 && lat <= cfg.BatchSLO {
+					st.WithinSLO++
+				}
 				st.LatencySample.Add(lat)
 				bucketSum += lat
 				bucketN++
@@ -222,6 +260,11 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		req := r
 		engine.At(req.At, func() {
 			task := sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark}
+			if cfg.StaticEstimate != nil {
+				// The rack's single simulated pool is CPU-class, so the
+				// CPU estimate is the one the former's slack pricing reads.
+				task.CPUService = cfg.StaticEstimate(req.Benchmark)
+			}
 			admitted := core.Submit(task)
 			if admitted && former != nil {
 				former.Observe(task, 1)

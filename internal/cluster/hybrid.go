@@ -17,7 +17,11 @@ import (
 )
 
 // HybridServiceModel returns the expected service times of a benchmark on
-// each instance class plus its acceleratable-function count.
+// each instance class plus its acceleratable-function count. When a run
+// prices tasks with a separate belief (HybridConfig.Estimate or
+// AdaptiveEstimates), the Service model is evaluated again at dispatch to
+// obtain the true execution time, so it must be a pure function of the
+// slug in those regimes.
 type HybridServiceModel func(slug string) (cpu, dscs time.Duration, accelFuncs int)
 
 // HybridConfig parameterizes a hybrid run.
@@ -46,6 +50,20 @@ type HybridConfig struct {
 	// submit time once the DSCS backlog is this deep (0 disables; split
 	// layout only).
 	SpilloverThreshold int
+	// Estimate, when set, is the scheduler's belief about service times:
+	// tasks are priced with it while Service still drives actual
+	// execution — the regime where an offline profile has drifted from
+	// the hardware. Nil prices with Service itself (exact knowledge, the
+	// earlier behavior).
+	Estimate HybridServiceModel
+	// AdaptiveEstimates blends each arrival's pricing toward the observed
+	// per-class p50 latency digests (metrics.Observatory), pulling a
+	// drifted Estimate back to measurement — the policies' half of the
+	// live engine's serve.Options.AdaptiveEstimates, on the virtual clock.
+	AdaptiveEstimates bool
+	// EstimateWarmup and EstimateWindow tune the digests (defaults
+	// metrics.DefaultWarmup / metrics.DefaultWindow).
+	EstimateWarmup, EstimateWindow int
 }
 
 // HybridStats is the outcome of a hybrid run.
@@ -92,9 +110,35 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 		Latency: metrics.NewSample(len(tr.Requests)),
 	}
 
+	var obs *metrics.Observatory
+	if cfg.AdaptiveEstimates {
+		obs = metrics.NewObservatory(cfg.EstimateWindow, cfg.EstimateWarmup)
+	}
+	estimate := cfg.Estimate
+	if estimate == nil {
+		estimate = cfg.Service
+	}
+
+	// priced marks the regimes where tasks carry a belief (a drifted
+	// Estimate, or a digest blend) rather than the truth; execution must
+	// then re-derive the true base from cfg.Service, which consequently
+	// has to be deterministic per slug in those regimes (it is evaluated
+	// at both arrival and dispatch). Unpriced runs read the task fields
+	// directly — the exact pre-adaptive behavior, one evaluation per
+	// request.
+	priced := cfg.Estimate != nil || obs != nil
+
+	// service samples the actual execution time from the true model —
+	// the scheduler's belief must not contaminate what really runs.
 	service := func(t sched.HybridTask, class sched.InstanceClass) time.Duration {
 		base := t.CPUService
-		if class == sched.ClassDSCS {
+		if priced {
+			cpu, dscs, _ := cfg.Service(t.Payload)
+			base = cpu
+			if class == sched.ClassDSCS {
+				base = dscs
+			}
+		} else if class == sched.ClassDSCS {
 			base = t.DSCSService
 		}
 		if cfg.Jitter <= 0 {
@@ -147,8 +191,12 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 				st.OnDSCS++
 			}
 			arrived := task.Arrived
-			engine.After(service(task, class), func() {
+			elapsed := service(task, class)
+			engine.After(elapsed, func() {
 				core.Complete(class, 1)
+				if obs != nil {
+					obs.Record(task.Payload, class.String(), elapsed)
+				}
 				st.Completed++
 				st.Latency.Add(engine.Now() - arrived)
 				pump()
@@ -159,7 +207,13 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
-			cpu, dscs, accel := cfg.Service(req.Benchmark)
+			cpu, dscs, accel := estimate(req.Benchmark)
+			if obs != nil {
+				// The policies' pricing blends the belief toward the
+				// observed per-class p50 — cold benchmarks keep the prior.
+				cpu = obs.Blend(req.Benchmark, sched.ClassCPU.String(), cpu)
+				dscs = obs.Blend(req.Benchmark, sched.ClassDSCS.String(), dscs)
+			}
 			task := sched.HybridTask{
 				ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark,
 				CPUService: cpu, DSCSService: dscs, AccelFuncs: accel,

@@ -144,8 +144,16 @@ func (g *Gateway) deploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	g.mu.Lock()
+	_, redeploy := g.apps[app.Name]
 	g.apps[app.Name] = &Deployment{App: app, Benchmark: bench, YAML: string(body), At: time.Now()}
 	g.mu.Unlock()
+	if redeploy {
+		// A redeploy may change the chain: the engine's memoized pricing
+		// and latency history for this slug are stale the moment the new
+		// deployment lands.
+		g.engine.ForgetEstimate(app.Name)
+		g.tel.Inc("gateway_redeployments_total", 1)
+	}
 	g.tel.Inc("gateway_deployments_total", 1)
 	w.WriteHeader(http.StatusAccepted)
 	writeJSON(w, map[string]interface{}{

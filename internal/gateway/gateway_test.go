@@ -307,6 +307,73 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
+// metricsBody scrapes /metrics and returns the exposition text.
+func metricsBody(t *testing.T, srv *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestRedeployDropsStalePricing is the redeploy regression: the engine
+// memoizes service estimates by slug, so before the fix a deploy over an
+// existing name kept the old chain's pricing (and latency history)
+// forever. The fixed engine re-prices a changed chain — the cache
+// validates the Benchmark object, so a changed chain under the same slug
+// can never inherit stale pricing — and the gateway's redeploy path calls
+// Engine.ForgetEstimate, dropping the slug's memoized estimate and its
+// latency digests. Both assertions fail on the pre-fix code.
+func TestRedeployDropsStalePricing(t *testing.T) {
+	g := testGatewayWithOptions(t, 7, serve.Options{Workers: 1})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	deployApp(t, srv, "chatbot")
+
+	e := g.Engine()
+	cpuOld, _, _ := e.ServiceEstimate(workload.BySlug("chatbot")) // memoized under the slug
+
+	// The chain changed: the same slug now fronts a much heavier model.
+	// Pre-fix, the slug-keyed cache returned cpuOld here.
+	changed := *workload.BySlug("chatbot")
+	changed.Model = workload.BySlug("remote-sensing").Model
+	cpuNew, _, _ := e.ServiceEstimate(&changed)
+	if cpuNew == cpuOld {
+		t.Fatalf("changed chain kept the stale pricing %v (pre-fix behavior)", cpuNew)
+	}
+	if cpuNew <= cpuOld {
+		t.Fatalf("heavier chain must price higher: %v -> %v", cpuOld, cpuNew)
+	}
+
+	// Redeploying over the existing name must drop the slug's latency
+	// history — digests and published gauges — along with the memoized
+	// estimate.
+	e.Observatory().Record("chatbot", "DSCS-Serverless", 5*time.Millisecond)
+	gauge := "serve_latency_p95{benchmark=chatbot,platform=DSCS-Serverless}"
+	g.Telemetry().SetDuration(gauge, 5*time.Millisecond)
+	deployApp(t, srv, "chatbot")
+	if e.Observatory().Digest("chatbot", "DSCS-Serverless") != nil {
+		t.Error("redeploy kept the old chain's latency history (pre-fix behavior)")
+	}
+	if body := metricsBody(t, srv); strings.Contains(body, gauge) {
+		t.Error("redeploy kept the old chain's latency gauges on /metrics")
+	}
+	if got := g.Telemetry().Counter("gateway_redeployments_total"); got != 1 {
+		t.Errorf("gateway_redeployments_total = %v, want 1", got)
+	}
+	// A first-time deploy is not a redeploy.
+	deployApp(t, srv, "clinical")
+	if got := g.Telemetry().Counter("gateway_redeployments_total"); got != 1 {
+		t.Errorf("fresh deploy counted as redeploy: %v", got)
+	}
+}
+
 // TestConcurrentDeployInvoke hammers the handler with 64 parallel
 // deploy+invoke pairs (run under -race in CI): every request must succeed —
 // the queue depth exceeds the burst, so admission control may not drop

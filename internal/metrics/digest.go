@@ -1,0 +1,450 @@
+// digest.go is the latency observatory's data structure: an online
+// quantile digest safe for concurrent Record from serving-engine worker
+// goroutines. Each digest combines a fixed-size ring of the most recent
+// observations (windowed quantiles that react to drift — what adaptive
+// scheduling estimates price with) and constant-memory P² streaming
+// estimators (Jain & Chlamtac, CACM 1985) for the cumulative p50/p95/p99
+// surfaced as gauges on /metrics. The Observatory keys digests per
+// {benchmark, platform}, so the scheduler's live pricing and the telemetry
+// both see per-pool service behavior rather than one blurred aggregate.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Digest tuning defaults shared by the serving engine and the
+// discrete-event simulations.
+const (
+	// DefaultWindow is the sliding-window size of a digest, in
+	// observations.
+	DefaultWindow = 512
+	// DefaultWarmup is the observation count below which a digest defers
+	// to the static prior (the cold-start estimate).
+	DefaultWarmup = 32
+)
+
+// Adoption hysteresis bands: a live estimate replaces the static prior
+// only once it diverges beyond AdoptEnterRatio (in either direction), and
+// drops back only when it re-converges within the tighter AdoptExitRatio —
+// so pricing cannot flap when the observed latency hovers at a boundary.
+const (
+	AdoptEnterRatio = 1.5
+	AdoptExitRatio  = 1.2
+)
+
+// streamQuantiles are the cumulative P² targets every digest maintains.
+var streamQuantiles = [...]float64{0.50, 0.95, 0.99}
+
+// Digest is one {benchmark, platform} latency record: a sliding window of
+// the last Window observations plus P² streaming estimators over the whole
+// stream. Safe for concurrent use. The sorted window view is maintained
+// incrementally — Record pays one binary-search insert (plus one evict once
+// the ring wraps, each a bounded memmove, no allocation), and quantile
+// reads are O(1) index math — so neither the workers' record path nor the
+// submit path's pricing reads ever sorts under the lock.
+type Digest struct {
+	mu     sync.Mutex
+	ring   []time.Duration // eviction order (circular)
+	next   int
+	count  int64
+	sorted []time.Duration // the same window, kept sorted
+	p2s    [len(streamQuantiles)]p2
+
+	// live is the adoption latch (see Adopt); flips counts its toggles.
+	live  bool
+	flips int64
+}
+
+// NewDigest returns an empty digest over a window of the given size
+// (DefaultWindow when non-positive).
+func NewDigest(window int) *Digest {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	d := &Digest{
+		ring:   make([]time.Duration, 0, window),
+		sorted: make([]time.Duration, 0, window),
+	}
+	for i, q := range streamQuantiles {
+		d.p2s[i].init(q)
+	}
+	return d
+}
+
+// Record folds one observation into the window and the streaming
+// estimators. Negative durations (a clock anomaly upstream) clamp to zero
+// so no quantile can ever go negative.
+func (d *Digest) Record(v time.Duration) {
+	if v < 0 {
+		v = 0
+	}
+	d.mu.Lock()
+	if len(d.ring) < cap(d.ring) {
+		d.ring = append(d.ring, v)
+	} else {
+		d.removeSorted(d.ring[d.next])
+		d.ring[d.next] = v
+		d.next = (d.next + 1) % len(d.ring)
+	}
+	d.insertSorted(v)
+	d.count++
+	for i := range d.p2s {
+		d.p2s[i].observe(float64(v))
+	}
+	d.mu.Unlock()
+}
+
+// insertSorted places v into the sorted window view. Callers hold d.mu.
+func (d *Digest) insertSorted(v time.Duration) {
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] > v })
+	d.sorted = append(d.sorted, 0)
+	copy(d.sorted[i+1:], d.sorted[i:])
+	d.sorted[i] = v
+}
+
+// removeSorted drops one instance of v from the sorted window view (the
+// ring guarantees it is present). Callers hold d.mu.
+func (d *Digest) removeSorted(v time.Duration) {
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] >= v })
+	d.sorted = append(d.sorted[:i], d.sorted[i+1:]...)
+}
+
+// Count reports the total observations ever recorded (not capped at the
+// window) — the warmup thresholds compare against it.
+func (d *Digest) Count() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.count
+}
+
+// quantileLocked is Quantile under d.mu: the p-quantile of the window by
+// the same linear interpolation as Sample.Percentile, so the digest and
+// the exact sample agree on identical inputs. Out-of-range or NaN p clamps
+// into [0, 1]; an empty digest reports 0.
+func (d *Digest) quantileLocked(p float64) time.Duration {
+	vs := d.sorted
+	if len(vs) == 0 {
+		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		return vs[0]
+	}
+	if p >= 1 {
+		return vs[len(vs)-1]
+	}
+	pos := p * float64(len(vs)-1)
+	lo := int(pos)
+	hi := lo + 1
+	frac := pos - float64(lo)
+	if hi >= len(vs) || frac == 0 {
+		return vs[lo]
+	}
+	return vs[lo] + time.Duration(frac*float64(vs[hi]-vs[lo]))
+}
+
+// Quantile returns the p-quantile over the sliding window — the reactive
+// estimate adaptive scheduling prices with. Never negative, never NaN; 0
+// only when nothing was recorded.
+func (d *Digest) Quantile(p float64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quantileLocked(p)
+}
+
+// StreamQuantile returns the constant-memory P² estimate over the whole
+// stream for the nearest maintained target (p50/p95/p99) — the cheap
+// read backing the /metrics gauges.
+func (d *Digest) StreamQuantile(p float64) time.Duration {
+	best := 0
+	for i, q := range streamQuantiles {
+		if math.Abs(q-p) < math.Abs(streamQuantiles[best]-p) {
+			best = i
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	v := d.p2s[best].quantile()
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	if v >= float64(math.MaxInt64) {
+		// float64(MaxInt64) rounds up past MaxInt64; an unguarded
+		// conversion would wrap negative.
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(v)
+}
+
+// Adopt is the static-vs-live switching decision with warmup and
+// hysteresis: below warmup observations (or while the live q-quantile is
+// degenerate, i.e. non-positive) the static prior holds. Once warmed, the
+// live estimate is adopted when it diverges from the prior beyond
+// AdoptEnterRatio and dropped again only when it re-converges within
+// AdoptExitRatio, so the decision latches instead of flapping per request.
+// A non-positive static prior adopts any warmed live estimate outright.
+// It returns the estimate pricing should use and whether it is live.
+func (d *Digest) Adopt(static time.Duration, q float64, warmup int64) (time.Duration, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live := d.quantileLocked(q)
+	if d.count < warmup || live <= 0 {
+		return static, false
+	}
+	if static <= 0 {
+		if !d.live {
+			d.live = true
+			d.flips++
+		}
+		return live, true
+	}
+	ratio := float64(live) / float64(static)
+	if d.live {
+		if ratio < AdoptExitRatio && ratio > 1/AdoptExitRatio {
+			d.live = false
+			d.flips++
+			return static, false
+		}
+		return live, true
+	}
+	if ratio >= AdoptEnterRatio || ratio <= 1/AdoptEnterRatio {
+		d.live = true
+		d.flips++
+		return live, true
+	}
+	return static, false
+}
+
+// Flips counts adoption-latch toggles — the no-flapping tests pin it.
+func (d *Digest) Flips() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.flips
+}
+
+// Blend mixes the static prior with the observed windowed p50, weighting
+// the prior as warmup pseudo-observations against the (window-capped)
+// observation count — a smooth pull from cold-start pricing toward
+// measurement, with no threshold to flap across. A degenerate observed p50
+// keeps the prior. The result is never negative: the weighted mean is
+// computed in float64 (durations near MaxInt64 would wrap an int64
+// product) and saturates at the maximum duration.
+func (d *Digest) Blend(static time.Duration, warmup int64) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.count
+	if w := int64(cap(d.ring)); n > w {
+		n = w
+	}
+	if n == 0 || warmup <= 0 {
+		return static
+	}
+	p50 := d.quantileLocked(0.5)
+	if p50 <= 0 {
+		return static
+	}
+	if static <= 0 {
+		return p50
+	}
+	blend := (float64(static)*float64(warmup) + float64(p50)*float64(n)) / float64(warmup+n)
+	if blend >= float64(math.MaxInt64) {
+		return time.Duration(math.MaxInt64)
+	}
+	return time.Duration(blend)
+}
+
+// p2 is one P² streaming quantile estimator: five markers tracking the
+// running min, q/2, q, (1+q)/2, and max quantiles with parabolic height
+// adjustment — O(1) per observation, O(1) memory, no stored samples.
+type p2 struct {
+	q    float64
+	n    int
+	pos  [5]float64 // actual marker positions (1-based observation ranks)
+	want [5]float64 // desired marker positions
+	inc  [5]float64 // desired-position increment per observation
+	h    [5]float64 // marker heights (the estimates)
+}
+
+func (e *p2) init(q float64) {
+	e.q = q
+	e.inc = [5]float64{0, q / 2, q, (1 + q) / 2, 1}
+}
+
+func (e *p2) observe(x float64) {
+	if e.n < 5 {
+		e.h[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.h[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+			e.want = [5]float64{1, 1 + 2*e.q, 1 + 4*e.q, 3 + 2*e.q, 5}
+		}
+		return
+	}
+	// Locate the marker cell the observation falls into, stretching the
+	// extremes when it lands outside them.
+	var k int
+	switch {
+	case x < e.h[0]:
+		e.h[0] = x
+		k = 0
+	case x >= e.h[4]:
+		e.h[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.h[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.inc[i]
+	}
+	e.n++
+	// Nudge interior markers toward their desired positions, adjusting
+	// heights parabolically (linearly when the parabola overshoots a
+	// neighbor).
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			if hp := e.parabolic(i, s); e.h[i-1] < hp && hp < e.h[i+1] {
+				e.h[i] = hp
+			} else {
+				e.h[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *p2) parabolic(i int, s float64) float64 {
+	return e.h[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.h[i+1]-e.h[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.h[i]-e.h[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *p2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.h[i] + s*(e.h[j]-e.h[i])/(e.pos[j]-e.pos[i])
+}
+
+// quantile reads the current estimate; below five observations it falls
+// back to the exact quantile over what was stored.
+func (e *p2) quantile() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		var tmp [5]float64
+		copy(tmp[:], e.h[:e.n])
+		vs := tmp[:e.n]
+		sort.Float64s(vs)
+		pos := e.q * float64(len(vs)-1)
+		lo := int(pos)
+		if lo >= len(vs)-1 {
+			return vs[len(vs)-1]
+		}
+		return vs[lo] + (pos-float64(lo))*(vs[lo+1]-vs[lo])
+	}
+	return e.h[2]
+}
+
+// obsKey addresses one digest in the observatory.
+type obsKey struct{ bench, platform string }
+
+// Observatory holds the latency digests of a serving run, keyed per
+// {benchmark, platform}. Safe for concurrent use; lookups on the record
+// path are a lock-free sync.Map read.
+type Observatory struct {
+	window int
+	warmup int64
+	m      sync.Map // obsKey -> *Digest
+}
+
+// NewObservatory builds an observatory whose digests use the given window
+// and warmup (defaults DefaultWindow/DefaultWarmup when non-positive).
+func NewObservatory(window, warmup int) *Observatory {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	if warmup <= 0 {
+		warmup = DefaultWarmup
+	}
+	return &Observatory{window: window, warmup: int64(warmup)}
+}
+
+// Warmup reports the observation count below which digests defer to the
+// static prior.
+func (o *Observatory) Warmup() int64 { return o.warmup }
+
+// Record folds one completion latency into the keyed digest (created on
+// first use) and returns the digest so the caller can read gauges off it.
+func (o *Observatory) Record(bench, platform string, v time.Duration) *Digest {
+	k := obsKey{bench, platform}
+	if d, ok := o.m.Load(k); ok {
+		dg := d.(*Digest)
+		dg.Record(v)
+		return dg
+	}
+	d, _ := o.m.LoadOrStore(k, NewDigest(o.window))
+	dg := d.(*Digest)
+	dg.Record(v)
+	return dg
+}
+
+// Digest returns the keyed digest, or nil when nothing was recorded for it.
+func (o *Observatory) Digest(bench, platform string) *Digest {
+	if d, ok := o.m.Load(obsKey{bench, platform}); ok {
+		return d.(*Digest)
+	}
+	return nil
+}
+
+// ServiceQuantile prices one scheduling decision: the live q-quantile for
+// the key once its digest is warmed and diverged (Digest.Adopt — warmup,
+// hysteresis), the static prior otherwise. The result is positive whenever
+// static is.
+func (o *Observatory) ServiceQuantile(bench, platform string, static time.Duration, q float64) time.Duration {
+	dg := o.Digest(bench, platform)
+	if dg == nil {
+		return static
+	}
+	est, _ := dg.Adopt(static, q, o.warmup)
+	return est
+}
+
+// Blend mixes the static prior with the key's observed p50 (see
+// Digest.Blend); the prior passes through untouched when nothing was
+// recorded.
+func (o *Observatory) Blend(bench, platform string, static time.Duration) time.Duration {
+	dg := o.Digest(bench, platform)
+	if dg == nil {
+		return static
+	}
+	return dg.Blend(static, o.warmup)
+}
+
+// Forget drops every digest of one benchmark across all platforms — the
+// redeploy invalidation: a changed chain must not inherit the old chain's
+// latency history any more than its static pricing.
+func (o *Observatory) Forget(bench string) {
+	o.m.Range(func(k, _ interface{}) bool {
+		if k.(obsKey).bench == bench {
+			o.m.Delete(k)
+		}
+		return true
+	})
+}

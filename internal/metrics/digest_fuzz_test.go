@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzDigestRecord feeds adversarial duration sequences into the digest
+// and cross-checks it against the exact Sample on every prefix: quantiles
+// must stay inside [min, max] of the window, monotone in p, never
+// negative, and — while the window has not wrapped — bit-identical to
+// Sample.Percentile. The seed corpus covers the adversarial shapes named
+// in the scheduler's threat model: all-zero durations, the maximum
+// duration, and a monotone-decreasing ramp.
+func FuzzDigestRecord(f *testing.F) {
+	seq := func(vs ...int64) []byte {
+		b := make([]byte, 8*len(vs))
+		for i, v := range vs {
+			binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+		}
+		return b
+	}
+	f.Add(seq(0, 0, 0, 0, 0, 0, 0, 0))
+	f.Add(seq(math.MaxInt64, math.MaxInt64, math.MaxInt64))
+	f.Add(seq(1<<50, 1<<40, 1<<30, 1<<20, 1<<10, 1, 0))
+	f.Add(seq(-1, math.MinInt64, 5, -5))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const window = 32
+		d := NewDigest(window)
+		s := NewSample(window)
+		n := len(data) / 8
+		if n > 256 {
+			n = 256
+		}
+		for i := 0; i < n; i++ {
+			v := time.Duration(binary.LittleEndian.Uint64(data[8*i:]))
+			d.Record(v)
+			if v < 0 {
+				v = 0 // Record clamps; mirror it for the exact reference
+			}
+			s.Add(v)
+
+			prev := time.Duration(-1)
+			for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.95, 0.99, 1} {
+				got := d.Quantile(q)
+				if got < 0 {
+					t.Fatalf("obs %d: Quantile(%v) = %v negative", i, q, got)
+				}
+				if got < prev {
+					t.Fatalf("obs %d: quantiles not monotone at q=%v", i, q)
+				}
+				prev = got
+				if i < window {
+					if want := s.Percentile(q); got != want {
+						t.Fatalf("obs %d q=%v: digest %v != exact %v", i, q, got, want)
+					}
+				}
+			}
+			if sq := d.StreamQuantile(0.95); sq < 0 {
+				t.Fatalf("obs %d: stream quantile negative: %v", i, sq)
+			}
+			// Neither pricing path may ever emit a non-positive estimate
+			// for a positive static prior — Adopt feeds the former's slack
+			// arithmetic, Blend feeds the policies' service ordering (and
+			// its weighted sum must saturate, not wrap, near MaxInt64).
+			if est, _ := d.Adopt(time.Millisecond, 0.95, 4); est <= 0 {
+				t.Fatalf("obs %d: Adopt returned %v for a positive prior", i, est)
+			}
+			if bl := d.Blend(time.Millisecond, 4); bl <= 0 {
+				t.Fatalf("obs %d: Blend returned %v for a positive prior", i, bl)
+			}
+		}
+	})
+}

@@ -1,0 +1,321 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// lcg is the deterministic value stream the digest tests share.
+func lcg(seed uint64) func() uint64 {
+	s := seed
+	return func() uint64 { s = s*6364136223846793005 + 1442695040888963407; return s >> 33 }
+}
+
+// TestDigestMatchesExactQuantiles is the digest-vs-exact differential: as
+// long as the window has not wrapped, the digest's windowed quantile must
+// equal Sample.Percentile bit for bit on the same inputs — same
+// interpolation, same boundary handling. Runs under -race in CI's
+// scheduler step.
+func TestDigestMatchesExactQuantiles(t *testing.T) {
+	next := lcg(7)
+	quantiles := []float64{0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+	d := NewDigest(512)
+	s := NewSample(512)
+	for i := 0; i < 512; i++ {
+		v := time.Duration(next()%1e9) * time.Nanosecond
+		d.Record(v)
+		s.Add(v)
+		if i%37 != 0 && i != 511 {
+			continue
+		}
+		for _, q := range quantiles {
+			if got, want := d.Quantile(q), s.Percentile(q); got != want {
+				t.Fatalf("n=%d q=%v: digest %v != exact %v", i+1, q, got, want)
+			}
+		}
+	}
+}
+
+// TestDigestWindowSlides: once the ring wraps, quantiles reflect only the
+// most recent window — the property that makes the estimates react to
+// drift where a cumulative sample cannot.
+func TestDigestWindowSlides(t *testing.T) {
+	d := NewDigest(64)
+	for i := 0; i < 64; i++ {
+		d.Record(10 * time.Millisecond)
+	}
+	if got := d.Quantile(0.5); got != 10*time.Millisecond {
+		t.Fatalf("pre-drift p50 = %v", got)
+	}
+	for i := 0; i < 64; i++ {
+		d.Record(30 * time.Millisecond)
+	}
+	if got := d.Quantile(0.5); got != 30*time.Millisecond {
+		t.Fatalf("post-drift p50 = %v, old observations leaked", got)
+	}
+	if d.Count() != 128 {
+		t.Fatalf("count = %d, want 128", d.Count())
+	}
+}
+
+// TestP2StreamQuantiles checks the constant-memory estimators against the
+// exact quantiles of a 20k-value stream: P² is approximate, so the pin is
+// a relative tolerance, not equality.
+func TestP2StreamQuantiles(t *testing.T) {
+	next := lcg(99)
+	d := NewDigest(128) // window much smaller than the stream
+	s := NewSample(20000)
+	for i := 0; i < 20000; i++ {
+		// Skewed distribution (squared uniform) so the tails matter.
+		u := float64(next()%1e6) / 1e6
+		v := time.Duration(u * u * float64(time.Second))
+		d.Record(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := float64(d.StreamQuantile(q))
+		want := float64(s.Percentile(q))
+		if want == 0 {
+			t.Fatalf("degenerate exact q%v", q)
+		}
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q%v: stream %v vs exact %v (rel err %.3f)", q,
+				time.Duration(got), time.Duration(want), rel)
+		}
+	}
+}
+
+// TestStreamQuantileSmallN: below five observations P² falls back to the
+// exact stored values.
+func TestStreamQuantileSmallN(t *testing.T) {
+	d := NewDigest(16)
+	if d.StreamQuantile(0.5) != 0 {
+		t.Fatal("empty stream quantile must be 0")
+	}
+	d.Record(40 * time.Millisecond)
+	if got := d.StreamQuantile(0.5); got != 40*time.Millisecond {
+		t.Fatalf("1-obs p50 = %v", got)
+	}
+	d.Record(20 * time.Millisecond)
+	d.Record(60 * time.Millisecond)
+	if got := d.StreamQuantile(0.5); got != 40*time.Millisecond {
+		t.Fatalf("3-obs p50 = %v, want the middle value", got)
+	}
+}
+
+// TestDigestAdversarialNeverNaNZero drives Record with the adversarial
+// sequences the fuzz seeds use — zero, the maximum duration, monotone
+// decreasing — and asserts the digest can never emit a negative estimate,
+// and Adopt never replaces a positive static prior with a non-positive
+// live value.
+func TestDigestAdversarialNeverNaNZero(t *testing.T) {
+	static := 10 * time.Millisecond
+	sequences := [][]time.Duration{
+		{0, 0, 0, 0, 0, 0, 0, 0},
+		{math.MaxInt64, math.MaxInt64, math.MaxInt64, math.MaxInt64},
+		{1 << 40, 1 << 30, 1 << 20, 1 << 10, 1, 0},
+		{-time.Second, -time.Millisecond, 0, time.Millisecond},
+	}
+	for si, seq := range sequences {
+		d := NewDigest(8)
+		for _, v := range seq {
+			d.Record(v)
+			for _, q := range []float64{0, 0.5, 0.95, 0.99, 1, math.NaN(), -1, 2} {
+				if got := d.Quantile(q); got < 0 {
+					t.Fatalf("seq %d: Quantile(%v) = %v negative", si, q, got)
+				}
+			}
+			if got := d.StreamQuantile(0.95); got < 0 {
+				t.Fatalf("seq %d: StreamQuantile negative: %v", si, got)
+			}
+			if est, _ := d.Adopt(static, 0.95, 4); est <= 0 {
+				t.Fatalf("seq %d: Adopt fed a non-positive estimate %v into pricing", si, est)
+			}
+		}
+	}
+	// The all-zero digest must never adopt, no matter how warmed: a zero
+	// service estimate would let the former hold a batch for the whole SLO.
+	d := NewDigest(8)
+	for i := 0; i < 100; i++ {
+		d.Record(0)
+	}
+	if est, live := d.Adopt(static, 0.95, 4); live || est != static {
+		t.Fatalf("all-zero digest adopted: est=%v live=%v", est, live)
+	}
+}
+
+// TestAdoptWarmupAndHysteresis pins the static-vs-live switching contract:
+// static below warmup, a single latch flip at the crossover when the
+// observed latency has drifted 3x, no flapping while it hovers inside the
+// hysteresis band, and a release flip when it genuinely re-converges.
+func TestAdoptWarmupAndHysteresis(t *testing.T) {
+	const warmup = 16
+	static := 10 * time.Millisecond
+	d := NewDigest(32)
+
+	// Below warmup the static prior holds even though the observations
+	// already sit at 3x.
+	for i := 0; i < warmup-1; i++ {
+		d.Record(30 * time.Millisecond)
+		if est, live := d.Adopt(static, 0.95, warmup); live || est != static {
+			t.Fatalf("obs %d (pre-warmup): est=%v live=%v", i+1, est, live)
+		}
+	}
+	if d.Flips() != 0 {
+		t.Fatalf("pre-warmup flips = %d", d.Flips())
+	}
+
+	// The warmup-crossing observation flips pricing to live — once.
+	d.Record(30 * time.Millisecond)
+	for i := 0; i < 50; i++ {
+		est, live := d.Adopt(static, 0.95, warmup)
+		if !live || est != 30*time.Millisecond {
+			t.Fatalf("post-warmup call %d: est=%v live=%v", i, est, live)
+		}
+	}
+	if d.Flips() != 1 {
+		t.Fatalf("post-warmup flips = %d, want exactly 1 (no per-request flapping)", d.Flips())
+	}
+
+	// Drift back to 1.3x: inside the band (above the 1.2x exit, below the
+	// 1.5x entry) the latch must hold, not flap.
+	for i := 0; i < 64; i++ {
+		d.Record(13 * time.Millisecond)
+		if _, live := d.Adopt(static, 0.95, warmup); !live {
+			t.Fatalf("obs %d at 1.3x: latch released inside the hysteresis band", i)
+		}
+	}
+	if d.Flips() != 1 {
+		t.Fatalf("hysteresis-band flips = %d, want still 1", d.Flips())
+	}
+
+	// Genuine re-convergence to 1.0x releases the latch exactly once.
+	for i := 0; i < 64; i++ {
+		d.Record(static)
+		d.Adopt(static, 0.95, warmup)
+	}
+	if est, live := d.Adopt(static, 0.95, warmup); live || est != static {
+		t.Fatalf("re-converged: est=%v live=%v", est, live)
+	}
+	if d.Flips() != 2 {
+		t.Fatalf("re-convergence flips = %d, want 2", d.Flips())
+	}
+
+	// And a fresh 1.3x drift from static must NOT re-adopt (below entry).
+	for i := 0; i < 64; i++ {
+		d.Record(13 * time.Millisecond)
+		if _, live := d.Adopt(static, 0.95, warmup); live {
+			t.Fatal("re-adopted below the entry ratio")
+		}
+	}
+}
+
+// TestAdoptZeroStatic: with no prior to diverge from, a warmed digest is
+// adopted outright.
+func TestAdoptZeroStatic(t *testing.T) {
+	d := NewDigest(16)
+	for i := 0; i < 8; i++ {
+		d.Record(5 * time.Millisecond)
+	}
+	if est, live := d.Adopt(0, 0.95, 4); !live || est != 5*time.Millisecond {
+		t.Fatalf("zero-static adopt: est=%v live=%v", est, live)
+	}
+}
+
+// TestDigestConcurrentRecord exercises the concurrent contract under
+// -race: worker goroutines Record while readers pull quantiles, counts,
+// and adoption decisions.
+func TestDigestConcurrentRecord(t *testing.T) {
+	d := NewDigest(256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			next := lcg(seed)
+			for i := 0; i < 2000; i++ {
+				d.Record(time.Duration(next() % 1e9))
+			}
+		}(uint64(w + 1))
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if d.Quantile(0.95) < 0 || d.StreamQuantile(0.5) < 0 {
+					t.Error("negative quantile under concurrency")
+					return
+				}
+				d.Adopt(time.Millisecond, 0.95, 32)
+				d.Blend(time.Millisecond, 32)
+				d.Count()
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Count() != 16000 {
+		t.Fatalf("count = %d, want 16000", d.Count())
+	}
+}
+
+// TestObservatoryKeysAndForget covers the per-{benchmark, platform} keying
+// and the redeploy invalidation path.
+func TestObservatoryKeysAndForget(t *testing.T) {
+	o := NewObservatory(0, 0)
+	if o.Warmup() != DefaultWarmup {
+		t.Fatalf("default warmup = %d", o.Warmup())
+	}
+	o.Record("chatbot", "dscs", 10*time.Millisecond)
+	o.Record("chatbot", "cpu", 90*time.Millisecond)
+	o.Record("clinical", "dscs", 50*time.Millisecond)
+	if o.Digest("chatbot", "dscs") == o.Digest("chatbot", "cpu") {
+		t.Fatal("platforms must not share a digest")
+	}
+	if o.Digest("nope", "dscs") != nil {
+		t.Fatal("unknown key must be nil")
+	}
+	if got := o.Blend("nope", "dscs", time.Second); got != time.Second {
+		t.Fatalf("blend with no digest = %v, want the prior", got)
+	}
+	if got := o.ServiceQuantile("nope", "dscs", time.Second, 0.95); got != time.Second {
+		t.Fatalf("quantile with no digest = %v, want the prior", got)
+	}
+	o.Forget("chatbot")
+	if o.Digest("chatbot", "dscs") != nil || o.Digest("chatbot", "cpu") != nil {
+		t.Fatal("Forget must drop every platform's digest for the benchmark")
+	}
+	if o.Digest("clinical", "dscs") == nil {
+		t.Fatal("Forget dropped an unrelated benchmark")
+	}
+}
+
+// TestBlendPullsTowardObservation: the blend weights the prior as warmup
+// pseudo-observations, so it starts at the prior and converges on the
+// observed p50 as evidence accumulates.
+func TestBlendPullsTowardObservation(t *testing.T) {
+	static := 10 * time.Millisecond
+	observed := 40 * time.Millisecond
+	d := NewDigest(64)
+	if got := d.Blend(static, 16); got != static {
+		t.Fatalf("empty blend = %v", got)
+	}
+	d.Record(observed)
+	one := d.Blend(static, 16)
+	if one <= static || one >= observed {
+		t.Fatalf("1-obs blend %v outside (%v, %v)", one, static, observed)
+	}
+	for i := 0; i < 63; i++ {
+		d.Record(observed)
+	}
+	many := d.Blend(static, 16)
+	if many <= one {
+		t.Fatalf("blend must move toward observation: %v then %v", one, many)
+	}
+	// 64 observations vs 16 pseudo-counts: (10*16 + 40*64)/80 = 34ms.
+	if want := 34 * time.Millisecond; many != want {
+		t.Fatalf("64-obs blend = %v, want %v", many, want)
+	}
+}

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -38,6 +39,84 @@ func TestPercentileEmpty(t *testing.T) {
 	}
 	if s.CDF(10) != nil {
 		t.Error("empty CDF should be nil")
+	}
+}
+
+// TestPercentileBoundaries pins the exact-boundary behavior the digest and
+// the sample must share: a 1-element sample answers every p with its only
+// value, and a p that lands exactly on an index (the lo==hi path) returns
+// that element with no interpolation. The digest is run over the same
+// inputs so the two implementations cannot drift apart.
+func TestPercentileBoundaries(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+	cases := []struct {
+		name   string
+		values []time.Duration
+		p      float64
+		want   time.Duration
+	}{
+		{"one-element-p0", []time.Duration{ms(7)}, 0, ms(7)},
+		{"one-element-p50", []time.Duration{ms(7)}, 0.5, ms(7)},
+		{"one-element-p100", []time.Duration{ms(7)}, 1, ms(7)},
+		// Five elements: pos = p*4 hits integer indices at multiples of
+		// 0.25 — the lo==hi path, exact element, no interpolation.
+		{"five-p25-exact-index", []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50)}, 0.25, ms(20)},
+		{"five-p50-exact-index", []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50)}, 0.5, ms(30)},
+		{"five-p75-exact-index", []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50)}, 0.75, ms(40)},
+		// Between indices it interpolates: pos = 0.1*4 = 0.4 -> 10 + 0.4*10.
+		{"five-p10-interpolated", []time.Duration{ms(10), ms(20), ms(30), ms(40), ms(50)}, 0.1, ms(14)},
+		// Out-of-range p clamps to the extremes.
+		{"clamp-low", []time.Duration{ms(10), ms(20)}, -0.5, ms(10)},
+		{"clamp-high", []time.Duration{ms(10), ms(20)}, 1.5, ms(20)},
+	}
+	for _, tc := range cases {
+		s := NewSample(len(tc.values))
+		d := NewDigest(len(tc.values))
+		for _, v := range tc.values {
+			s.Add(v)
+			d.Record(v)
+		}
+		if got := s.Percentile(tc.p); got != tc.want {
+			t.Errorf("%s: Sample.Percentile = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := d.Quantile(tc.p); got != tc.want {
+			t.Errorf("%s: Digest.Quantile = %v, want %v (disagrees with Sample)", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestSampleConcurrentUse locks in the Sample concurrency fix under -race:
+// sortValues used to mutate the backing slice with no synchronization, so
+// a reporting Percentile racing a worker's Add corrupted the sample.
+func TestSampleConcurrentUse(t *testing.T) {
+	s := NewSample(1024)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				s.Add(time.Duration(base*1000+i) * time.Microsecond)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if s.Percentile(0.95) < 0 || s.Mean() < 0 || s.Min() < 0 || s.Max() < 0 {
+					t.Error("negative statistic under concurrency")
+					return
+				}
+				s.CDF(10)
+				s.Len()
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 4000 {
+		t.Fatalf("len = %d, want 4000", s.Len())
 	}
 }
 

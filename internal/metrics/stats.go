@@ -7,11 +7,16 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 )
 
-// Sample accumulates latency observations.
+// Sample accumulates latency observations. Safe for concurrent use: the
+// serving engine's worker goroutines Add while reporting reads percentiles
+// (sortValues mutates the backing slice, so unsynchronized mixed calls
+// were a data race).
 type Sample struct {
+	mu     sync.Mutex
 	values []time.Duration
 	sorted bool
 }
@@ -23,13 +28,20 @@ func NewSample(n int) *Sample {
 
 // Add records one observation.
 func (s *Sample) Add(d time.Duration) {
+	s.mu.Lock()
 	s.values = append(s.values, d)
 	s.sorted = false
+	s.mu.Unlock()
 }
 
 // Len reports the number of observations.
-func (s *Sample) Len() int { return len(s.values) }
+func (s *Sample) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values)
+}
 
+// sortValues orders the observations; callers hold s.mu.
 func (s *Sample) sortValues() {
 	if !s.sorted {
 		sort.Slice(s.values, func(i, j int) bool { return s.values[i] < s.values[j] })
@@ -39,6 +51,8 @@ func (s *Sample) sortValues() {
 
 // Percentile returns the p-quantile (p in [0,1]) by linear interpolation.
 func (s *Sample) Percentile(p float64) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -61,6 +75,8 @@ func (s *Sample) Percentile(p float64) time.Duration {
 
 // Mean returns the arithmetic mean of the observations.
 func (s *Sample) Mean() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -73,6 +89,8 @@ func (s *Sample) Mean() time.Duration {
 
 // Min returns the smallest observation.
 func (s *Sample) Min() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -82,6 +100,8 @@ func (s *Sample) Min() time.Duration {
 
 // Max returns the largest observation.
 func (s *Sample) Max() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 {
 		return 0
 	}
@@ -97,6 +117,8 @@ type CDFPoint struct {
 
 // CDF returns the empirical CDF down-sampled to at most points entries.
 func (s *Sample) CDF(points int) []CDFPoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if len(s.values) == 0 || points <= 0 {
 		return nil
 	}

@@ -40,6 +40,22 @@ func (t *Telemetry) Set(name string, v float64) {
 	t.mu.Unlock()
 }
 
+// SetDuration records a gauge in milliseconds — the unit the latency
+// gauges (serve_latency_p50/p95/p99 and friends) share with the paper's
+// figures.
+func (t *Telemetry) SetDuration(name string, d time.Duration) {
+	t.Set(name, float64(d)/float64(time.Millisecond))
+}
+
+// Unset removes a gauge from the registry — invalidation, not zeroing:
+// a dropped series disappears from /metrics instead of reporting a stale
+// or misleading zero.
+func (t *Telemetry) Unset(name string) {
+	t.mu.Lock()
+	delete(t.gauges, name)
+	t.mu.Unlock()
+}
+
 // Counter reads a counter.
 func (t *Telemetry) Counter(name string) float64 {
 	t.mu.Lock()

@@ -29,6 +29,7 @@ import (
 
 	"dscs/internal/csd"
 	"dscs/internal/faas"
+	"dscs/internal/metrics"
 	"dscs/internal/objstore"
 	"dscs/internal/platform"
 	"dscs/internal/sched"
@@ -94,6 +95,21 @@ type Options struct {
 	// SpilloverTo names the CPU-class pool spilled work lands on. Empty
 	// picks the least-queued CPU-class pool per submission.
 	SpilloverTo string
+	// AdaptiveEstimates prices scheduling decisions with live latency
+	// digests (metrics.Observatory, per {benchmark, platform}) instead of
+	// the static graph-derived estimate once a benchmark has enough
+	// observations on a pool: the former's BatchSLO slack uses the
+	// observed p95 (with warmup and hysteresis, Digest.Adopt) and the
+	// policies' service estimates blend toward the observed p50. The
+	// static estimate stays as the cold-start prior.
+	AdaptiveEstimates bool
+	// EstimateWarmup is the per-{benchmark, platform} completion count
+	// below which live digests defer to the static prior (default
+	// metrics.DefaultWarmup).
+	EstimateWarmup int
+	// EstimateWindow is each latency digest's sliding window, in
+	// observations (default metrics.DefaultWindow).
+	EstimateWindow int
 	// Telemetry receives the engine's metrics; pass the gateway's
 	// registry to surface them on /metrics (default: a fresh registry).
 	Telemetry *sched.Telemetry
@@ -112,6 +128,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = DefaultMaxBatch
+	}
+	if o.EstimateWarmup <= 0 {
+		o.EstimateWarmup = metrics.DefaultWarmup
+	}
+	if o.EstimateWindow <= 0 {
+		o.EstimateWindow = metrics.DefaultWindow
 	}
 	if o.Telemetry == nil {
 		o.Telemetry = sched.NewTelemetry()
@@ -284,18 +306,26 @@ type Engine struct {
 	tel   *sched.Telemetry
 	pools map[string]*pool
 	// spillCPU lists the CPU-class pools eligible as spillover targets,
-	// sorted by name for deterministic tie-breaks.
-	spillCPU []*pool
+	// sorted by name for deterministic tie-breaks; dscsPools is the same
+	// cached view of the DSCS class (the pool set is immutable after
+	// construction, so the submit path never rebuilds these).
+	spillCPU  []*pool
+	dscsPools []*pool
 	// drives arbitrates DSCS-class executions over the physical drives.
 	drives *driveSet
 	// estimates memoizes service estimates per benchmark slug. It lives
 	// on the engine — a package-level cache would leak one run's pricing
 	// into another engine's policies (or a test's redefined slug).
 	estimates sync.Map // slug -> serviceEstimate
-	start     time.Time
-	nextID    atomic.Int64
-	wg        sync.WaitGroup
-	once      sync.Once
+	// obs is the latency observatory: per-{benchmark, platform} digests
+	// recorded on every completion. Always recording (it backs the
+	// serve_latency_* gauges); consumed by pricing only with
+	// Options.AdaptiveEstimates.
+	obs    *metrics.Observatory
+	start  time.Time
+	nextID atomic.Int64
+	wg     sync.WaitGroup
+	once   sync.Once
 }
 
 // NewEngine builds one worker pool per runner (the platform.All lineup in
@@ -316,6 +346,7 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		opt:   opt,
 		tel:   opt.Telemetry,
 		pools: make(map[string]*pool, len(runners)),
+		obs:   metrics.NewObservatory(opt.EstimateWindow, opt.EstimateWarmup),
 		start: time.Now(),
 	}
 	var dscsStores []*objstore.Store
@@ -336,9 +367,12 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	for _, p := range e.pools {
 		if p.class == sched.ClassCPU {
 			e.spillCPU = append(e.spillCPU, p)
+		} else {
+			e.dscsPools = append(e.dscsPools, p)
 		}
 	}
 	sort.Slice(e.spillCPU, func(i, j int) bool { return e.spillCPU[i].name < e.spillCPU[j].name })
+	sort.Slice(e.dscsPools, func(i, j int) bool { return e.dscsPools[i].name < e.dscsPools[j].name })
 	if opt.SpilloverThreshold > 0 {
 		if opt.SpilloverTo != "" {
 			t, ok := e.pools[opt.SpilloverTo]
@@ -365,7 +399,17 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	}
 	if opt.GlobalBatch && opt.MaxBatch > 1 {
 		for _, p := range e.pools {
-			p.core.AttachFormer(NewBatchFormer(opt.MaxBatch, opt.BatchLinger, opt.BatchSLO, p.class))
+			f := NewBatchFormer(opt.MaxBatch, opt.BatchLinger, opt.BatchSLO, p.class)
+			if opt.AdaptiveEstimates {
+				// The former prices SLO slack with this pool's observed
+				// p95 once the digest warms up; the task's static
+				// estimate stays the cold-start prior.
+				poolName := p.name
+				f.SetEstimator(func(payload string, static time.Duration) time.Duration {
+					return e.obs.ServiceQuantile(payload, poolName, static, 0.95)
+				})
+			}
+			p.core.AttachFormer(f)
 		}
 		e.tel.Inc("serve_batch_formed_total", 0)
 	}
@@ -555,6 +599,13 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 		}
 	}
 	cpuSvc, dscsSvc, accel := e.estimate(b)
+	if e.opt.AdaptiveEstimates {
+		// Policy pricing blends the static prior toward the observed p50
+		// of each class's best-observed pool, so SJF/criticality/DAG picks
+		// order work by real service times instead of the offline model.
+		cpuSvc = e.observedService(b.Slug, sched.ClassCPU, cpuSvc)
+		dscsSvc = e.observedService(b.Slug, sched.ClassDSCS, dscsSvc)
+	}
 	task := sched.HybridTask{
 		ID:          int(e.nextID.Add(1)),
 		Arrived:     time.Since(e.start),
@@ -865,6 +916,9 @@ func (e *Engine) worker(p *pool) {
 		p.mu.Lock()
 		p.core.Complete(len(bs.reqs))
 		p.mu.Unlock()
+		if err == nil {
+			e.observe(bs.payload, p.name, res.Total())
+		}
 		e.tel.Inc("serve_batches_total", 1)
 		e.tel.Inc("serve_batched_requests_total", float64(len(bs.reqs)))
 		e.tel.Set("serve_batch_occupancy{platform="+p.name+"}", float64(bs.batch))
@@ -911,8 +965,13 @@ func (e *Engine) Close() {
 }
 
 // serviceEstimate is a benchmark's fixed pricing for the scheduling
-// policies.
+// policies. bench records which Benchmark object it was derived from: a
+// redeploy under the same slug hands the engine a different object, and a
+// cache hit must not price the new chain with the old chain's estimate
+// (nor let a racing in-flight request of the old chain re-memoize stale
+// pricing after the redeploy's ForgetEstimate ran).
 type serviceEstimate struct {
+	bench      *workload.Benchmark
 	cpu, dscs  time.Duration
 	accelFuncs int
 }
@@ -927,8 +986,12 @@ type serviceEstimate struct {
 // must not read this run's pricing).
 func (e *Engine) estimate(b *workload.Benchmark) (cpu, dscs time.Duration, accelFuncs int) {
 	if v, ok := e.estimates.Load(b.Slug); ok {
-		est := v.(serviceEstimate)
-		return est.cpu, est.dscs, est.accelFuncs
+		// A hit only counts for the same Benchmark object: a different
+		// object under the same slug is a changed chain (redeploy), and
+		// its pricing must be re-derived, not inherited.
+		if est := v.(serviceEstimate); est.bench == b {
+			return est.cpu, est.dscs, est.accelFuncs
+		}
 	}
 	const (
 		cpuFLOPS  = 200e9 // Baseline (CPU) effective throughput
@@ -936,12 +999,70 @@ func (e *Engine) estimate(b *workload.Benchmark) (cpu, dscs time.Duration, accel
 	)
 	flops := float64(b.Preproc.FLOPs() + b.Model.FLOPs())
 	est := serviceEstimate{
-		cpu:  time.Duration(flops / cpuFLOPS * float64(time.Second)),
-		dscs: time.Duration(flops / dscsFLOPS * float64(time.Second)),
+		bench: b,
+		cpu:   time.Duration(flops / cpuFLOPS * float64(time.Second)),
+		dscs:  time.Duration(flops / dscsFLOPS * float64(time.Second)),
 	}
 	if app, err := faas.AppFor(b); err == nil {
 		est.accelFuncs = len(app.AcceleratedPrefix())
 	}
 	e.estimates.Store(b.Slug, est)
 	return est.cpu, est.dscs, est.accelFuncs
+}
+
+// ServiceEstimate exposes the engine's (memoized) static pricing for a
+// benchmark — diagnostics and the redeploy regression tests.
+func (e *Engine) ServiceEstimate(b *workload.Benchmark) (cpu, dscs time.Duration, accelFuncs int) {
+	return e.estimate(b)
+}
+
+// ForgetEstimate drops the memoized static pricing, the live latency
+// digests, and the published latency gauges for a slug. The gateway calls
+// it on redeploy: a changed chain must not keep the old chain's pricing
+// (the memoized estimate would otherwise survive forever), its stale
+// latency history, or old quantiles on /metrics.
+func (e *Engine) ForgetEstimate(slug string) {
+	e.estimates.Delete(slug)
+	e.obs.Forget(slug)
+	for name := range e.pools {
+		labels := "{benchmark=" + slug + ",platform=" + name + "}"
+		e.tel.Unset("serve_latency_p50" + labels)
+		e.tel.Unset("serve_latency_p95" + labels)
+		e.tel.Unset("serve_latency_p99" + labels)
+	}
+}
+
+// Observatory exposes the engine's latency digests (diagnostics, tests).
+func (e *Engine) Observatory() *metrics.Observatory { return e.obs }
+
+// observe folds one execution's service time into the latency observatory
+// and refreshes the per-{benchmark, platform} quantile gauges. The gauges
+// read the O(1) P² stream estimates, so the completion path never sorts.
+func (e *Engine) observe(slug, platformName string, service time.Duration) {
+	dg := e.obs.Record(slug, platformName, service)
+	labels := "{benchmark=" + slug + ",platform=" + platformName + "}"
+	e.tel.SetDuration("serve_latency_p50"+labels, dg.StreamQuantile(0.50))
+	e.tel.SetDuration("serve_latency_p95"+labels, dg.StreamQuantile(0.95))
+	e.tel.SetDuration("serve_latency_p99"+labels, dg.StreamQuantile(0.99))
+}
+
+// observedService blends one class's static service prior toward the
+// observed p50 of that class's best-observed pool (the cached class lists
+// are name-sorted, so ties break deterministically). Un-observed
+// benchmarks keep the prior untouched.
+func (e *Engine) observedService(slug string, class sched.InstanceClass, static time.Duration) time.Duration {
+	pools := e.spillCPU
+	if class == sched.ClassDSCS {
+		pools = e.dscsPools
+	}
+	var best *metrics.Digest
+	for _, p := range pools {
+		if dg := e.obs.Digest(slug, p.name); dg != nil && (best == nil || dg.Count() > best.Count()) {
+			best = dg
+		}
+	}
+	if best == nil {
+		return static
+	}
+	return best.Blend(static, e.obs.Warmup())
 }

@@ -28,16 +28,24 @@ type FormingGroup struct {
 	Size int
 }
 
+// ServiceEstimator supplies a live service-time estimate for a payload's
+// deadline pricing; static is the task's static prior (its class service
+// estimate). Implementations must return a positive duration whenever
+// static is positive — fall back to static while un-warmed — or the
+// former's slack arithmetic would hold batches past their budget.
+type ServiceEstimator func(payload string, static time.Duration) time.Duration
+
 // BatchFormer tracks the forming groups of one pool's queue. Not safe for
 // concurrent use on its own; like PoolCore it is driven under the owner's
 // lock (engine) or from a single-threaded simulation.
 type BatchFormer struct {
-	target int
-	linger time.Duration
-	slo    time.Duration
-	class  sched.InstanceClass
-	groups map[string]*FormingGroup
-	formed int
+	target   int
+	linger   time.Duration
+	slo      time.Duration
+	class    sched.InstanceClass
+	groups   map[string]*FormingGroup
+	formed   int
+	estimate ServiceEstimator
 }
 
 // NewBatchFormer builds a former releasing batches at target size, holding
@@ -55,12 +63,26 @@ func NewBatchFormer(target int, linger, slo time.Duration, class sched.InstanceC
 	}
 }
 
+// SetEstimator attaches a live service estimator: memberDue prices
+// deadline slack with its result instead of the task's static estimate —
+// the adaptive-estimates path, where observed latency digests replace the
+// graph-derived pricing once warmed. A non-positive result is ignored in
+// favor of the static prior (the digest must never feed a zero or
+// degenerate estimate into slack arithmetic).
+func (f *BatchFormer) SetEstimator(est ServiceEstimator) { f.estimate = est }
+
 // memberDue is the latest instant a single member tolerates its group
 // staying open: its linger window, tightened by its deadline slack.
 func (f *BatchFormer) memberDue(t sched.HybridTask) time.Duration {
 	due := t.Arrived + f.linger
 	if f.slo > 0 {
-		if slack := t.Arrived + f.slo - t.Service(f.class); slack < due {
+		svc := t.Service(f.class)
+		if f.estimate != nil {
+			if live := f.estimate(t.Payload, svc); live > 0 {
+				svc = live
+			}
+		}
+		if slack := t.Arrived + f.slo - svc; slack < due {
 			due = slack
 		}
 	}

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"dscs/internal/metrics"
 	"dscs/internal/sched"
 )
 
@@ -252,6 +253,99 @@ func TestFormerPropertyHarness(t *testing.T) {
 				execs = append(execs[:i], execs[i+1:]...)
 			case 4: // advance
 				now += time.Duration(op.a%500) * time.Millisecond
+			}
+			if err := poolInvariants(core); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	checkSequences(t, 3000, 5, run)
+}
+
+// TestAdaptiveFormerPropertyHarness model-checks the former-gated pool
+// with a digest-backed live estimator in the loop, feeding the digest
+// adversarial observations (zeros, the maximum duration, negatives,
+// collapsing magnitudes) between scheduling ops. On top of the usual pool
+// invariants it asserts the adaptive-estimation contract: the digest never
+// feeds a NaN, zero, or negative service estimate into the former's slack
+// arithmetic, and group due instants never precede their oldest arrival.
+func TestAdaptiveFormerPropertyHarness(t *testing.T) {
+	run := func(ops []propOp) error {
+		core, err := NewPoolCore(2, 10, sched.ClassCPU, sched.CriticalityPolicy{})
+		if err != nil {
+			return err
+		}
+		obs := metrics.NewObservatory(16, 6)
+		former := NewBatchFormer(4, 40*time.Millisecond, 200*time.Millisecond, sched.ClassCPU)
+		var estErr error
+		former.SetEstimator(func(payload string, static time.Duration) time.Duration {
+			got := obs.ServiceQuantile(payload, "pool", static, 0.95)
+			if static > 0 && got <= 0 && estErr == nil {
+				estErr = fmt.Errorf("digest fed a non-positive estimate %v into the former (static %v)", got, static)
+			}
+			return got
+		})
+		core.AttachFormer(former)
+		now := time.Duration(0)
+		nextID := 0
+		dispatched := map[int]bool{}
+		var execs []int
+		for _, op := range ops {
+			now += time.Duration(1+op.b%8) * time.Millisecond
+			switch op.kind {
+			case 0: // submit + observe
+				tk := propTask(nextID, now, op.a)
+				nextID++
+				if core.Submit(tk) {
+					former.Observe(tk, 1)
+					if g := former.groups[tk.Payload]; g != nil && g.Due < g.Oldest {
+						return fmt.Errorf("group %q due %v precedes its oldest arrival %v",
+							tk.Payload, g.Due, g.Oldest)
+					}
+				}
+			case 1: // formed dispatch
+				before := core.QueueLen()
+				got, ok, _, _ := core.DispatchFormed(now)
+				if !ok {
+					if core.QueueLen() != before {
+						return fmt.Errorf("held dispatch changed the queue (%d -> %d)", before, core.QueueLen())
+					}
+					break
+				}
+				if dispatched[got.ID] {
+					return fmt.Errorf("task %d dispatched twice", got.ID)
+				}
+				dispatched[got.ID] = true
+				execs = append(execs, 1)
+			case 2: // complete
+				if len(execs) == 0 {
+					break
+				}
+				i := op.a % len(execs)
+				core.Complete(execs[i])
+				execs = append(execs[:i], execs[i+1:]...)
+			case 3: // advance
+				now += time.Duration(op.a%500) * time.Millisecond
+			case 4: // record an adversarial observation
+				payload := string(rune('a' + op.a%3))
+				var v time.Duration
+				switch op.a % 5 {
+				case 0:
+					v = 0
+				case 1:
+					v = time.Duration(1<<63 - 1) // max duration
+				case 2:
+					v = time.Duration(1<<40) >> uint(op.b%40) // collapsing magnitude
+				case 3:
+					v = -time.Duration(1 + op.a) // negative (clamped by Record)
+				default:
+					v = time.Duration(op.a) * time.Microsecond
+				}
+				obs.Record(payload, "pool", v)
+			}
+			if estErr != nil {
+				return estErr
 			}
 			if err := poolInvariants(core); err != nil {
 				return err
