@@ -20,11 +20,14 @@
 // -spillover-threshold (DSCS queue depth beyond which submissions reroute
 // to the CPU pool; watch serve_spillover_total on /metrics),
 // -steal-threshold (peer backlog depth beyond which an idle pool pulls the
-// other class's queued work; watch serve_steal_total), and
+// other class's queued work; watch serve_steal_total),
 // -adaptive-estimates/-estimate-warmup (price batching and policy
 // decisions with live latency digests instead of the static model-derived
 // estimates once a benchmark has enough observations; watch the
-// serve_latency_p50/p95/p99 gauges).
+// serve_latency_p50/p95/p99 gauges), and -adaptive-balance (replace the
+// static spillover/steal depth counts with the wait-keyed decision: work
+// rebalances once a pool's adopted queue-delay p95 diverges above a
+// peer's; watch the serve_queue_delay_p50/p95/p99 gauges).
 package main
 
 import (
@@ -60,6 +63,7 @@ func main() {
 		batchSLO    = flag.Duration("batch-slo", 0, "per-request deadline budget bounding how long -global-batch may hold a forming batch (0 = linger only)")
 		steal       = flag.Int("steal-threshold", 0, "peer queue depth beyond which an idle pool steals the other class's queued work (0 disables)")
 		adaptive    = flag.Bool("adaptive-estimates", false, "price batching and policy decisions with live latency digests once warmed (static estimates stay the cold-start prior)")
+		balance     = flag.Bool("adaptive-balance", false, "rebalance on queue delay instead of queue depth: spill and steal once a pool's adopted wait-p95 diverges above a peer's (replaces -spillover-threshold/-steal-threshold)")
 		warmup      = flag.Int("estimate-warmup", metrics.DefaultWarmup, "per-{benchmark,platform} completions before live estimates replace the static prior")
 	)
 	flag.Parse()
@@ -80,6 +84,7 @@ func main() {
 			SpilloverThreshold: *spillover,
 			StealThreshold:     *steal,
 			AdaptiveEstimates:  *adaptive,
+			AdaptiveBalance:    *balance,
 			EstimateWarmup:     *warmup,
 		})
 	if err != nil {
@@ -99,8 +104,8 @@ func main() {
 		return
 	}
 
-	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d, adaptive %v)\n",
-		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal, *adaptive)
+	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d, adaptive %v, balance %v)\n",
+		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal, *adaptive, *balance)
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")

@@ -100,6 +100,10 @@ type Stats struct {
 	WithinSLO int
 	// LatencySample holds every completed request's wall-clock latency.
 	LatencySample *metrics.Sample
+	// WaitP50/WaitP95/WaitP99 are the pool's windowed queue-delay
+	// quantiles — wait from arrival to dispatch, the signal the engine
+	// surfaces as serve_queue_delay_* gauges — at the end of the run.
+	WaitP50, WaitP95, WaitP99 time.Duration
 }
 
 // Run replays the trace against the pool and returns the series.
@@ -112,10 +116,19 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	}
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(seed)
-	core, err := serve.NewPoolCore(cfg.Instances, cfg.QueueDepth, sched.ClassCPU, cfg.Policy)
+	// The rack is a one-pool MultiCore: dispatch and coalesce flow through
+	// the N-pool core so every served request's queue delay — arrival to
+	// dispatch — lands in the same wait digests the engine and the hybrid
+	// sim record.
+	mc, err := serve.NewMultiCore([]serve.PoolSpec{{
+		Name: simPlatform, Class: sched.ClassCPU,
+		Workers: cfg.Instances, QueueDepth: cfg.QueueDepth, Policy: cfg.Policy,
+	}})
 	if err != nil {
 		return nil, err
 	}
+	mc.SetWaitTuning(cfg.EstimateWindow, cfg.EstimateWarmup)
+	core := mc.Pool(0)
 	var obs *metrics.Observatory
 	if cfg.AdaptiveEstimates {
 		obs = metrics.NewObservatory(cfg.EstimateWindow, cfg.EstimateWarmup)
@@ -188,7 +201,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	// gatherInto pulls queued same-benchmark tasks into the window and
 	// fires it when full.
 	gatherInto := func(win *window, now time.Duration) {
-		late := core.Coalesce(win.w.Target-win.w.Size, func(t sched.HybridTask) bool {
+		late := mc.Coalesce(0, now, win.w.Target-win.w.Size, func(t sched.HybridTask) bool {
 			return t.Payload == win.batch[0].Payload
 		})
 		win.w.Add(len(late))
@@ -209,7 +222,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 				// releases; otherwise arm an event at the earliest due
 				// instant — the virtual-clock analogue of the live
 				// engine's timed worker wait.
-				task, ok, wake, wakeOK := core.DispatchFormed(now)
+				task, ok, wake, wakeOK := mc.DispatchFormed(0, now)
 				if !ok {
 					if wakeOK && wake != lastWake {
 						lastWake = wake
@@ -218,13 +231,13 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 					return
 				}
 				batch := append([]sched.HybridTask{task},
-					core.Coalesce(cfg.MaxBatch-1, func(t sched.HybridTask) bool {
+					mc.Coalesce(0, now, cfg.MaxBatch-1, func(t sched.HybridTask) bool {
 						return t.Payload == task.Payload
 					})...)
 				execute(batch)
 				continue
 			}
-			task, ok := core.Dispatch(now)
+			task, ok := mc.Dispatch(0, now)
 			if !ok {
 				return
 			}
@@ -233,7 +246,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 				continue
 			}
 			batch := append([]sched.HybridTask{task},
-				core.Coalesce(cfg.MaxBatch-1, func(t sched.HybridTask) bool {
+				mc.Coalesce(0, now, cfg.MaxBatch-1, func(t sched.HybridTask) bool {
 					return t.Payload == task.Payload
 				})...)
 			win := &window{
@@ -265,7 +278,7 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 				// CPU estimate is the one the former's slack pricing reads.
 				task.CPUService = cfg.StaticEstimate(req.Benchmark)
 			}
-			admitted := core.Submit(task)
+			admitted := mc.SubmitTo(0, task)
 			if admitted && former != nil {
 				former.Observe(task, 1)
 			}
@@ -302,11 +315,16 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	}
 
 	engine.Run()
-	st.Dropped = core.Dropped()
+	st.Dropped = mc.Dropped()
 	if former != nil {
 		st.Formed = former.Formed()
 	}
-	if err := core.Conservation(); err != nil {
+	if dg := mc.WaitDigest(0); dg != nil {
+		st.WaitP50 = dg.Quantile(0.50)
+		st.WaitP95 = dg.Quantile(0.95)
+		st.WaitP99 = dg.Quantile(0.99)
+	}
+	if err := mc.Conservation(); err != nil {
 		return nil, err
 	}
 	if st.Completed+st.Dropped != len(tr.Requests) {

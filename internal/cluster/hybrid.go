@@ -1,8 +1,9 @@
 // hybrid.go replays traces against a heterogeneous pool (CPU + DSCS
 // instances) under a pluggable scheduling policy — the evaluation harness
 // for the paper's Section 5.3 scheduling future-work. The pool accounting
-// is serve.HybridCore, the same two-class scheduling core the live engine's
-// pools are built on, driven here from the virtual clock.
+// is serve.HybridCore (classic shared queue) or serve.MultiCore (split
+// per-pool backlogs, N CPU pools), the same scheduling cores the live
+// engine's pools are built on, driven here from the virtual clock.
 package cluster
 
 import (
@@ -34,22 +35,37 @@ type HybridConfig struct {
 	Jitter float64
 	// SampleEvery sets the telemetry sampling period.
 	SampleEvery time.Duration
-	// SplitQueues gives each class its own backlog
-	// (serve.NewSplitHybridCore), the shape of a deployment where requests
-	// target the accelerated tier: arrivals land on the DSCS backlog and
-	// the CPU side only sees work through spillover or stealing. The
-	// default shared queue (false) reproduces the classic runs bit for
-	// bit.
+	// SplitQueues gives each pool its own backlog (serve.MultiCore), the
+	// shape of a deployment where requests target the accelerated tier:
+	// arrivals land on the DSCS backlog and the CPU side only sees work
+	// through spillover or stealing. The default shared queue (false)
+	// reproduces the classic runs bit for bit.
 	SplitQueues bool
+	// CPUPools splits the CPU instances across this many same-class pools
+	// (split layout; default 1). With several pools the rebalancing is
+	// N-way: spilled arrivals pick the least-loaded CPU pool and idle CPU
+	// pools steal from each other as well as from the DSCS backlog.
+	CPUPools int
 	// StealThreshold arms pull-based rebalancing over split backlogs: a
-	// class whose own backlog is empty pulls the peer's oldest queued work
+	// pool whose own backlog is empty pulls a peer's oldest queued work
 	// once the peer backlog exceeds this depth (0 disables; split layout
-	// only).
+	// only; ignored under AdaptiveBalance).
 	StealThreshold int
-	// SpilloverThreshold reroutes an arrival onto the CPU backlog at
-	// submit time once the DSCS backlog is this deep (0 disables; split
-	// layout only).
+	// SpilloverThreshold reroutes an arrival onto a CPU backlog at submit
+	// time once the DSCS backlog is this deep (0 disables; split layout
+	// only; ignored under AdaptiveBalance).
 	SpilloverThreshold int
+	// AdaptiveBalance replaces the static queue-depth thresholds with the
+	// wait-keyed decision (split layout only): every dispatch records the
+	// served task's queue delay into per-pool digests, and work spills or
+	// is stolen once the donor pool's adopted wait-p95 has diverged above
+	// the target's past the hysteresis latch (metrics.Digest.Adopt) — the
+	// same serve.MultiCore logic the live engine runs behind
+	// -adaptive-balance, driven here from the virtual clock.
+	AdaptiveBalance bool
+	// SLO is the per-request latency budget; completions within it count
+	// toward HybridStats.WithinSLO (0 disables the tally).
+	SLO time.Duration
 	// Estimate, when set, is the scheduler's belief about service times:
 	// tasks are priced with it while Service still drives actual
 	// execution — the regime where an offline profile has drifted from
@@ -61,8 +77,9 @@ type HybridConfig struct {
 	// drifted Estimate back to measurement — the policies' half of the
 	// live engine's serve.Options.AdaptiveEstimates, on the virtual clock.
 	AdaptiveEstimates bool
-	// EstimateWarmup and EstimateWindow tune the digests (defaults
-	// metrics.DefaultWarmup / metrics.DefaultWindow).
+	// EstimateWarmup and EstimateWindow tune the digests — estimate and
+	// queue-delay alike (defaults metrics.DefaultWarmup /
+	// metrics.DefaultWindow).
 	EstimateWarmup, EstimateWindow int
 }
 
@@ -75,10 +92,28 @@ type HybridStats struct {
 	Dropped   int
 	// OnDSCS counts requests served by DSCS instances.
 	OnDSCS int
-	// Stolen counts tasks rebalanced between class backlogs (split layout).
+	// Stolen counts tasks rebalanced between pool backlogs (split layout).
 	Stolen int
-	// Spilled counts arrivals rerouted to the CPU backlog at submit time.
+	// Spilled counts arrivals rerouted to a CPU backlog at submit time.
 	Spilled int
+	// WithinSLO counts completions whose wall-clock latency fit the SLO
+	// budget (0 when HybridConfig.SLO is unset).
+	WithinSLO int
+	// Served counts completions per pool (split layout; keys "dscs" and
+	// "cpu", or "cpu0".."cpuN-1" with several CPU pools).
+	Served map[string]int
+	// WaitP95 is each pool's windowed queue-delay p95 at the end of the
+	// run (split layout) — the signal adaptive balance keys on.
+	WaitP95 map[string]time.Duration
+}
+
+// observeLatency folds one completion's wall-clock latency into the sample
+// and the SLO tally.
+func (st *HybridStats) observeLatency(lat, slo time.Duration) {
+	st.Latency.Add(lat)
+	if slo > 0 && lat <= slo {
+		st.WithinSLO++
+	}
 }
 
 // RunHybrid replays the trace under the configured policy.
@@ -89,116 +124,125 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 5 * time.Second
 	}
-	engine := sim.NewEngine()
-	rng := sim.NewRNG(seed)
-	newCore := serve.NewHybridCore
+	if cfg.CPUPools > 1 && !cfg.SplitQueues {
+		return nil, fmt.Errorf("cluster: CPUPools needs SplitQueues")
+	}
+	if cfg.AdaptiveBalance && !cfg.SplitQueues {
+		return nil, fmt.Errorf("cluster: AdaptiveBalance needs SplitQueues")
+	}
 	if cfg.SplitQueues {
-		newCore = serve.NewSplitHybridCore
+		return runSplitHybrid(tr, cfg, seed)
 	}
-	core, err := newCore(cfg.CPUInstances, cfg.DSCSInstances,
-		cfg.QueueDepth, cfg.Policy)
-	if err != nil {
-		return nil, err
+	return runSharedHybrid(tr, cfg, seed)
+}
+
+// hybridPricing is the arrival-pricing state shared by both layouts: the
+// static or drifted belief, optionally blended toward observed per-class
+// latency digests.
+type hybridPricing struct {
+	estimate HybridServiceModel
+	obs      *metrics.Observatory
+	// priced marks the regimes where tasks carry a belief (a drifted
+	// Estimate, or a digest blend) rather than the truth; execution must
+	// then re-derive the true base from the Service model, which
+	// consequently has to be deterministic per slug in those regimes (it
+	// is evaluated at both arrival and dispatch). Unpriced runs read the
+	// task fields directly — the exact pre-adaptive behavior, one
+	// evaluation per request.
+	priced bool
+}
+
+func newHybridPricing(cfg HybridConfig) *hybridPricing {
+	p := &hybridPricing{estimate: cfg.Estimate}
+	if p.estimate == nil {
+		p.estimate = cfg.Service
 	}
+	if cfg.AdaptiveEstimates {
+		p.obs = metrics.NewObservatory(cfg.EstimateWindow, cfg.EstimateWarmup)
+	}
+	p.priced = cfg.Estimate != nil || p.obs != nil
+	return p
+}
+
+// price evaluates the scheduler's belief for one arrival.
+func (p *hybridPricing) price(slug string) (cpu, dscs time.Duration, accel int) {
+	cpu, dscs, accel = p.estimate(slug)
+	if p.obs != nil {
+		// The policies' pricing blends the belief toward the observed
+		// per-class p50 — cold benchmarks keep the prior.
+		cpu = p.obs.Blend(slug, sched.ClassCPU.String(), cpu)
+		dscs = p.obs.Blend(slug, sched.ClassDSCS.String(), dscs)
+	}
+	return cpu, dscs, accel
+}
+
+// service samples the actual execution time from the true model — the
+// scheduler's belief must not contaminate what really runs.
+func (p *hybridPricing) service(cfg HybridConfig, rng *sim.RNG, t sched.HybridTask, class sched.InstanceClass) time.Duration {
+	base := t.CPUService
+	if p.priced {
+		cpu, dscs, _ := cfg.Service(t.Payload)
+		base = cpu
+		if class == sched.ClassDSCS {
+			base = dscs
+		}
+	} else if class == sched.ClassDSCS {
+		base = t.DSCSService
+	}
+	if cfg.Jitter <= 0 {
+		return base
+	}
+	return sim.LogNormal{Median: base, Sigma: cfg.Jitter}.Sample(rng)
+}
+
+// observe folds one completion into the estimate digests.
+func (p *hybridPricing) observe(payload string, class sched.InstanceClass, elapsed time.Duration) {
+	if p.obs != nil {
+		p.obs.Record(payload, class.String(), elapsed)
+	}
+}
+
+func newHybridStats(tr *trace.Trace, cfg HybridConfig) *HybridStats {
 	policyName := "fcfs"
 	if cfg.Policy != nil {
 		policyName = cfg.Policy.Name()
 	}
-	st := &HybridStats{
+	return &HybridStats{
 		Policy:  policyName,
 		Queue:   metrics.Series{Name: "queued"},
 		Latency: metrics.NewSample(len(tr.Requests)),
 	}
+}
 
-	var obs *metrics.Observatory
-	if cfg.AdaptiveEstimates {
-		obs = metrics.NewObservatory(cfg.EstimateWindow, cfg.EstimateWarmup)
+// runSharedHybrid is the classic layout: one shared queue drained by both
+// classes (serve.HybridCore), no rebalancing to do.
+func runSharedHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, error) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+	core, err := serve.NewHybridCore(cfg.CPUInstances, cfg.DSCSInstances, cfg.QueueDepth, cfg.Policy)
+	if err != nil {
+		return nil, err
 	}
-	estimate := cfg.Estimate
-	if estimate == nil {
-		estimate = cfg.Service
-	}
-
-	// priced marks the regimes where tasks carry a belief (a drifted
-	// Estimate, or a digest blend) rather than the truth; execution must
-	// then re-derive the true base from cfg.Service, which consequently
-	// has to be deterministic per slug in those regimes (it is evaluated
-	// at both arrival and dispatch). Unpriced runs read the task fields
-	// directly — the exact pre-adaptive behavior, one evaluation per
-	// request.
-	priced := cfg.Estimate != nil || obs != nil
-
-	// service samples the actual execution time from the true model —
-	// the scheduler's belief must not contaminate what really runs.
-	service := func(t sched.HybridTask, class sched.InstanceClass) time.Duration {
-		base := t.CPUService
-		if priced {
-			cpu, dscs, _ := cfg.Service(t.Payload)
-			base = cpu
-			if class == sched.ClassDSCS {
-				base = dscs
-			}
-		} else if class == sched.ClassDSCS {
-			base = t.DSCSService
-		}
-		if cfg.Jitter <= 0 {
-			return base
-		}
-		return sim.LogNormal{Median: base, Sigma: cfg.Jitter}.Sample(rng)
-	}
-
-	// steal is the pull half of rebalancing on split backlogs: a class with
-	// free instances and an empty backlog drains the peer's excess beyond
-	// the threshold, capped at its free capacity.
-	steal := func() int {
-		if !cfg.SplitQueues || cfg.StealThreshold <= 0 {
-			return 0
-		}
-		stole := 0
-		for _, to := range []sched.InstanceClass{sched.ClassCPU, sched.ClassDSCS} {
-			from := sched.ClassDSCS
-			if to == sched.ClassDSCS {
-				from = sched.ClassCPU
-			}
-			thief := core.Class(to)
-			free := thief.Workers() - thief.Busy()
-			if free == 0 || thief.QueueLen() > 0 {
-				continue
-			}
-			excess := core.Class(from).QueueLen() - cfg.StealThreshold
-			if excess <= 0 {
-				continue
-			}
-			if excess < free {
-				free = excess
-			}
-			stole += len(core.Steal(from, to, free))
-		}
-		return stole
-	}
+	st := newHybridStats(tr, cfg)
+	pricing := newHybridPricing(cfg)
 
 	var pump func()
 	pump = func() {
 		for {
 			task, class, ok := core.Dispatch(engine.Now())
 			if !ok {
-				if steal() > 0 {
-					continue
-				}
 				return
 			}
 			if class == sched.ClassDSCS {
 				st.OnDSCS++
 			}
 			arrived := task.Arrived
-			elapsed := service(task, class)
+			elapsed := pricing.service(cfg, rng, task, class)
 			engine.After(elapsed, func() {
 				core.Complete(class, 1)
-				if obs != nil {
-					obs.Record(task.Payload, class.String(), elapsed)
-				}
+				pricing.observe(task.Payload, class, elapsed)
 				st.Completed++
-				st.Latency.Add(engine.Now() - arrived)
+				st.observeLatency(engine.Now()-arrived, cfg.SLO)
 				pump()
 			})
 		}
@@ -207,51 +251,235 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
-			cpu, dscs, accel := estimate(req.Benchmark)
-			if obs != nil {
-				// The policies' pricing blends the belief toward the
-				// observed per-class p50 — cold benchmarks keep the prior.
-				cpu = obs.Blend(req.Benchmark, sched.ClassCPU.String(), cpu)
-				dscs = obs.Blend(req.Benchmark, sched.ClassDSCS.String(), dscs)
+			cpu, dscs, accel := pricing.price(req.Benchmark)
+			core.Submit(sched.HybridTask{
+				ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark,
+				CPUService: cpu, DSCSService: dscs, AccelFuncs: accel,
+			})
+			pump()
+		})
+	}
+	sampleHybridQueue(engine, tr, cfg, st, core.QueueLen)
+
+	engine.Run()
+	st.Dropped = core.Dropped()
+	if err := core.Conservation(); err != nil {
+		return nil, err
+	}
+	return st, finishHybrid(tr, st)
+}
+
+// runSplitHybrid is the per-pool-backlog layout on serve.MultiCore: one
+// DSCS pool plus CPUPools same-class CPU pools, rebalanced by submit-time
+// spillover and drain-time stealing — keyed by the static depth thresholds
+// or, under AdaptiveBalance, by the adopted wait-p95 gap between pools.
+func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, error) {
+	engine := sim.NewEngine()
+	rng := sim.NewRNG(seed)
+
+	cpuPools := cfg.CPUPools
+	if cpuPools <= 0 {
+		cpuPools = 1
+	}
+	specs := make([]serve.PoolSpec, 0, cpuPools+1)
+	for i := 0; i < cpuPools; i++ {
+		// CPU instances split as evenly as the count allows, remainder to
+		// the earliest pools.
+		workers := cfg.CPUInstances / cpuPools
+		if i < cfg.CPUInstances%cpuPools {
+			workers++
+		}
+		name := sched.ClassCPU.String()
+		if cpuPools > 1 {
+			name = fmt.Sprintf("%s%d", sched.ClassCPU, i)
+		}
+		specs = append(specs, serve.PoolSpec{
+			Name: name, Class: sched.ClassCPU, Workers: workers,
+			QueueDepth: cfg.QueueDepth, Policy: cfg.Policy,
+		})
+	}
+	dscsIdx := len(specs)
+	specs = append(specs, serve.PoolSpec{
+		Name: sched.ClassDSCS.String(), Class: sched.ClassDSCS,
+		Workers: cfg.DSCSInstances, QueueDepth: cfg.QueueDepth, Policy: cfg.Policy,
+	})
+	mc, err := serve.NewMultiCore(specs)
+	if err != nil {
+		return nil, err
+	}
+	mc.SetWaitTuning(cfg.EstimateWindow, cfg.EstimateWarmup)
+	st := newHybridStats(tr, cfg)
+	st.Served = make(map[string]int)
+	pricing := newHybridPricing(cfg)
+
+	onlyCPU := func(i int) bool { return i != dscsIdx }
+
+	// steal is the pull half of rebalancing: a pool with free instances
+	// and an empty backlog drains a peer's excess, capped at its free
+	// capacity. The static threshold picks the deepest peer beyond the
+	// depth count; adaptive balance picks the deepest peer whose adopted
+	// wait-p95 gap over the thief has latched (serve.MultiCore.StealDonor).
+	steal := func() int {
+		if !cfg.AdaptiveBalance && cfg.StealThreshold <= 0 {
+			return 0
+		}
+		stole := 0
+		for to := 0; to < mc.Pools(); to++ {
+			thief := mc.Pool(to)
+			free := thief.Workers() - thief.Busy()
+			if free == 0 || thief.QueueLen() > 0 {
+				continue
 			}
+			if cfg.AdaptiveBalance {
+				from, ok := mc.StealDonor(to, nil)
+				if !ok {
+					continue
+				}
+				if depth := mc.Pool(from).QueueLen(); depth < free {
+					free = depth
+				}
+				stole += len(mc.Steal(from, to, free))
+				continue
+			}
+			from, excess := -1, 0
+			for i := 0; i < mc.Pools(); i++ {
+				// The static threshold steals cross-class only, exactly
+				// like the live engine's static path: same-class
+				// rebalancing is what AdaptiveBalance adds, and a replay
+				// must not move work the deployed configuration would
+				// leave queued.
+				if i == to || mc.Spec(i).Class == mc.Spec(to).Class {
+					continue
+				}
+				if over := mc.Pool(i).QueueLen() - cfg.StealThreshold; over > excess {
+					from, excess = i, over
+				}
+			}
+			if from < 0 {
+				continue
+			}
+			if excess < free {
+				free = excess
+			}
+			stole += len(mc.Steal(from, to, free))
+		}
+		return stole
+	}
+
+	// dispatch drains the DSCS backlog first (it serves faster), then the
+	// CPU pools in order — the same preference HybridCore.Dispatch applies.
+	dispatch := func(now time.Duration) (sched.HybridTask, int, bool) {
+		if t, ok := mc.Dispatch(dscsIdx, now); ok {
+			return t, dscsIdx, true
+		}
+		for i := 0; i < dscsIdx; i++ {
+			if t, ok := mc.Dispatch(i, now); ok {
+				return t, i, true
+			}
+		}
+		return sched.HybridTask{}, 0, false
+	}
+
+	var pump func()
+	pump = func() {
+		for {
+			task, idx, ok := dispatch(engine.Now())
+			if !ok {
+				if steal() > 0 {
+					continue
+				}
+				return
+			}
+			class := mc.Spec(idx).Class
+			if class == sched.ClassDSCS {
+				st.OnDSCS++
+			}
+			pool := mc.Spec(idx).Name
+			arrived := task.Arrived
+			elapsed := pricing.service(cfg, rng, task, class)
+			engine.After(elapsed, func() {
+				mc.Complete(idx, 1)
+				pricing.observe(task.Payload, class, elapsed)
+				st.Completed++
+				st.Served[pool]++
+				st.observeLatency(engine.Now()-arrived, cfg.SLO)
+				pump()
+			})
+		}
+	}
+
+	// spillTarget picks the CPU pool an over-threshold (or over-wait)
+	// arrival lands on: least-queued under the static threshold,
+	// least-wait under adaptive balance (serve.MultiCore.BalanceTarget).
+	spillTarget := func() (int, bool) {
+		if cfg.AdaptiveBalance {
+			return mc.BalanceTarget(dscsIdx, onlyCPU)
+		}
+		if cfg.SpilloverThreshold <= 0 ||
+			mc.Pool(dscsIdx).QueueLen() < cfg.SpilloverThreshold {
+			return 0, false
+		}
+		best, depth := 0, 0
+		for i := 0; i < dscsIdx; i++ {
+			if d := mc.Pool(i).QueueLen(); i == 0 || d < depth {
+				best, depth = i, d
+			}
+		}
+		return best, true
+	}
+
+	for _, r := range tr.Requests {
+		req := r
+		engine.At(req.At, func() {
+			cpu, dscs, accel := pricing.price(req.Benchmark)
 			task := sched.HybridTask{
 				ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark,
 				CPUService: cpu, DSCSService: dscs, AccelFuncs: accel,
 			}
-			if cfg.SplitQueues {
-				// Arrivals target the accelerated backlog; past the
-				// spillover threshold they land on the CPU backlog instead
-				// — the same submit-time reroute the live engine applies.
-				class := sched.ClassDSCS
-				if cfg.SpilloverThreshold > 0 &&
-					core.Class(sched.ClassDSCS).QueueLen() >= cfg.SpilloverThreshold {
-					class = sched.ClassCPU
-				}
-				if core.SubmitTo(class, task) && class == sched.ClassCPU {
-					st.Spilled++
-				}
-			} else {
-				core.Submit(task)
+			// Arrivals target the accelerated backlog; past the spillover
+			// trigger they land on a CPU backlog instead — the same
+			// submit-time reroute the live engine applies.
+			idx := dscsIdx
+			if to, ok := spillTarget(); ok {
+				idx = to
+			}
+			if mc.SubmitTo(idx, task) && idx != dscsIdx {
+				st.Spilled++
 			}
 			pump()
 		})
 	}
+	sampleHybridQueue(engine, tr, cfg, st, mc.QueueLen)
+
+	engine.Run()
+	st.Dropped = mc.Dropped()
+	st.Stolen = mc.Stolen()
+	st.WaitP95 = make(map[string]time.Duration, mc.Pools())
+	for i := 0; i < mc.Pools(); i++ {
+		st.WaitP95[mc.Spec(i).Name] = mc.WaitQuantileOf(i, serve.WaitQuantile)
+	}
+	if err := mc.Conservation(); err != nil {
+		return nil, err
+	}
+	return st, finishHybrid(tr, st)
+}
+
+// sampleHybridQueue arms the queue-occupancy sampler across the trace
+// (plus drain tail).
+func sampleHybridQueue(engine *sim.Engine, tr *trace.Trace, cfg HybridConfig, st *HybridStats, queueLen func() int) {
 	horizon := tr.Duration + 2*time.Minute
 	for t := time.Duration(0); t <= horizon; t += cfg.SampleEvery {
 		at := t
 		engine.At(at, func() {
-			st.Queue.Add(at, float64(core.QueueLen()))
+			st.Queue.Add(at, float64(queueLen()))
 		})
 	}
+}
 
-	engine.Run()
-	st.Dropped = core.Dropped()
-	st.Stolen = core.Stolen()
-	if err := core.Conservation(); err != nil {
-		return nil, err
-	}
+// finishHybrid asserts the run lost nothing.
+func finishHybrid(tr *trace.Trace, st *HybridStats) error {
 	if st.Completed+st.Dropped != len(tr.Requests) {
-		return nil, fmt.Errorf("cluster: hybrid lost requests")
+		return fmt.Errorf("cluster: hybrid lost requests")
 	}
-	return st, nil
+	return nil
 }

@@ -9,6 +9,10 @@
 // per-platform worker pools, bounded-queue admission control (a full queue
 // is HTTP 429), pluggable scheduling policies, and same-benchmark request
 // batching. Nothing on the request path holds a gateway-wide lock.
+// /metrics surfaces the engine's telemetry alongside the gateway counters,
+// including the per-{platform, class} queue-delay quantile gauges
+// (serve_queue_delay_p50/p95/p99) that adaptive balancing keys on. See
+// ARCHITECTURE.md at the repository root for the full request path.
 package gateway
 
 import (
@@ -71,9 +75,10 @@ func NewWithOptions(runners map[string]*faas.Runner, accelRunner, plainRunner st
 		tel = sched.NewTelemetry()
 		opt.Telemetry = tel
 	}
-	// DSCS spillover lands on the gateway's plain (CPU) pool unless the
-	// caller picked a target explicitly.
-	if opt.SpilloverThreshold > 0 && opt.SpilloverTo == "" {
+	// DSCS spillover — static threshold or wait-keyed adaptive balance —
+	// lands on the gateway's plain (CPU) pool unless the caller picked a
+	// target explicitly.
+	if (opt.SpilloverThreshold > 0 || opt.AdaptiveBalance) && opt.SpilloverTo == "" {
 		opt.SpilloverTo = plainRunner
 	}
 	engine, err := serve.NewEngine(runners, opt)

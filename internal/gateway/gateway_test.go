@@ -301,6 +301,71 @@ func TestSpilloverAndLingerObservable(t *testing.T) {
 	}
 }
 
+// TestQueueDelayGaugesOnGateway is the wait-observatory acceptance check
+// at the HTTP surface: the serve_queue_delay_{p50,p95,p99}{platform,class}
+// gauges are live on /metrics from the first scrape (registered at engine
+// construction) and hold real quantiles once traffic has been served, with
+// -adaptive-balance wired through the options.
+func TestQueueDelayGaugesOnGateway(t *testing.T) {
+	g := testGatewayWithOptions(t, 31, serve.Options{
+		Workers: 2, QueueDepth: 64,
+		AdaptiveBalance: true,
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	text := metricsBody(t, srv)
+	for _, gauge := range []string{
+		"serve_queue_delay_p50{platform=DSCS-Serverless,class=dscs}",
+		"serve_queue_delay_p95{platform=DSCS-Serverless,class=dscs}",
+		"serve_queue_delay_p99{platform=DSCS-Serverless,class=dscs}",
+		"serve_queue_delay_p95{platform=Baseline (CPU),class=cpu}",
+	} {
+		if !strings.Contains(text, gauge) {
+			t.Errorf("first scrape missing %q:\n%s", gauge, text)
+		}
+	}
+	// Adaptive balance arms both rebalancing counter families up front.
+	for _, counter := range []string{"serve_spillover_total", "serve_steal_total"} {
+		if !strings.Contains(text, counter) {
+			t.Errorf("adaptive balance armed but %q absent from /metrics", counter)
+		}
+	}
+
+	deployApp(t, srv, "asset-damage")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/function/asset-damage", "application/json",
+				strings.NewReader(`{"quantile":0.5}`))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+
+	// The digests behind the gauges recorded every served request exactly
+	// once across the pools.
+	var waits int64
+	for _, key := range [][2]string{{"DSCS-Serverless", "dscs"}, {"Baseline (CPU)", "cpu"}} {
+		if dg := g.Engine().WaitObservatory().Digest(key[0], key[1]); dg != nil {
+			waits += dg.Count()
+		}
+	}
+	if waits != 8 {
+		t.Errorf("wait observatory recorded %d delays for 8 served requests", waits)
+	}
+	if err := g.Engine().Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(map[string]*faas.Runner{}, "a", "b"); err == nil {
 		t.Error("missing runners must fail")

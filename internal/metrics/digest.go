@@ -7,6 +7,10 @@
 // surfaced as gauges on /metrics. The Observatory keys digests per
 // {benchmark, platform}, so the scheduler's live pricing and the telemetry
 // both see per-pool service behavior rather than one blurred aggregate.
+// The serving engine runs a second observatory over queue delays keyed
+// {platform, class}, which the wait-keyed spillover/steal decisions read
+// through the same Adopt latch.
+
 package metrics
 
 import (
@@ -179,6 +183,29 @@ func (d *Digest) StreamQuantile(p float64) time.Duration {
 	return time.Duration(v)
 }
 
+// adoptStep is the hysteresis decision shared by Digest.Adopt and Latch:
+// given the current latch state, the live estimate, and the static prior,
+// it returns the estimate to use, whether it is live, and whether the
+// latch state flipped. The caller has already handled warmup and a
+// degenerate (non-positive) live value; a non-positive static prior
+// adopts any live estimate outright.
+func adoptStep(latched bool, live, static time.Duration) (est time.Duration, adopted, flipped bool) {
+	if static <= 0 {
+		return live, true, !latched
+	}
+	ratio := float64(live) / float64(static)
+	if latched {
+		if ratio < AdoptExitRatio && ratio > 1/AdoptExitRatio {
+			return static, false, true
+		}
+		return live, true, false
+	}
+	if ratio >= AdoptEnterRatio || ratio <= 1/AdoptEnterRatio {
+		return live, true, true
+	}
+	return static, false, false
+}
+
 // Adopt is the static-vs-live switching decision with warmup and
 // hysteresis: below warmup observations (or while the live q-quantile is
 // degenerate, i.e. non-positive) the static prior holds. Once warmed, the
@@ -187,6 +214,12 @@ func (d *Digest) StreamQuantile(p float64) time.Duration {
 // AdoptExitRatio, so the decision latches instead of flapping per request.
 // A non-positive static prior adopts any warmed live estimate outright.
 // It returns the estimate pricing should use and whether it is live.
+//
+// The latch lives in the digest, which assumes one stable prior per
+// digest (the service-estimate regime). A caller comparing one digest
+// against several different peers must keep a Latch per pair instead —
+// otherwise the pairwise decisions would share state and depend on
+// evaluation order.
 func (d *Digest) Adopt(static time.Duration, q float64, warmup int64) (time.Duration, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -194,29 +227,58 @@ func (d *Digest) Adopt(static time.Duration, q float64, warmup int64) (time.Dura
 	if d.count < warmup || live <= 0 {
 		return static, false
 	}
-	if static <= 0 {
-		if !d.live {
-			d.live = true
-			d.flips++
-		}
-		return live, true
-	}
-	ratio := float64(live) / float64(static)
-	if d.live {
-		if ratio < AdoptExitRatio && ratio > 1/AdoptExitRatio {
-			d.live = false
-			d.flips++
-			return static, false
-		}
-		return live, true
-	}
-	if ratio >= AdoptEnterRatio || ratio <= 1/AdoptEnterRatio {
-		d.live = true
+	est, adopted, flipped := adoptStep(d.live, live, static)
+	if flipped {
+		d.live = adopted
 		d.flips++
-		return live, true
 	}
-	return static, false
+	return est, adopted
 }
+
+// Latch is a standalone one-sided adoption latch over the same hysteresis
+// bands as Digest.Adopt, for decisions that compare one digest against
+// multiple peers (the wait-gap balance triggers): each (donor, peer) pair
+// owns its own Latch, so one pair's divergence cannot arm or release
+// another's. Not safe for concurrent use; callers serialize access.
+type Latch struct {
+	live  bool
+	flips int64
+}
+
+// Above evaluates the one-sided gap trigger: it latches when live
+// diverges above static beyond AdoptEnterRatio and releases once live
+// falls back within AdoptExitRatio of static — or anywhere below it.
+// Divergence *below* static never arms it (unlike Digest.Adopt's
+// two-sided bands, where a latch armed by the donor being the idle side
+// would silently lower the entry threshold for a later upward swing from
+// AdoptEnterRatio to AdoptExitRatio). A non-positive live releases; a
+// non-positive static adopts any positive live outright — diverging
+// above "nothing to wait for" at any ratio. Warmup is the caller's
+// concern.
+func (l *Latch) Above(live, static time.Duration) bool {
+	on := l.live
+	switch {
+	case live <= 0:
+		on = false
+	case static <= 0:
+		on = true
+	default:
+		ratio := float64(live) / float64(static)
+		if l.live {
+			on = ratio >= AdoptExitRatio
+		} else {
+			on = ratio >= AdoptEnterRatio
+		}
+	}
+	if on != l.live {
+		l.live = on
+		l.flips++
+	}
+	return on
+}
+
+// Flips counts the latch's state toggles — the no-flapping tests pin it.
+func (l *Latch) Flips() int64 { return l.flips }
 
 // Flips counts adoption-latch toggles — the no-flapping tests pin it.
 func (d *Digest) Flips() int64 {

@@ -1,6 +1,7 @@
-// Package metrics provides the statistics used by the evaluation: percentile
-// summaries, cumulative distribution functions, time series, histograms, and
-// a least-squares polynomial fitter for the Pareto-frontier figures.
+// stats.go provides the statistics used by the evaluation: percentile
+// summaries, cumulative distribution functions, time series, and
+// histograms.
+
 package metrics
 
 import (

@@ -11,6 +11,7 @@
 // The at-scale simulation (internal/cluster) replays traces against each
 // policy; the paper hypothesizes and our reproduction confirms that both
 // refinements beat plain FCFS when DSCS capacity is scarce.
+
 package sched
 
 import (

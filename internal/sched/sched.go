@@ -1,7 +1,8 @@
-// Package sched implements the serverless scheduler of Section 5.3: a
-// centralized FCFS queue over a pool of run-to-completion instances, with
-// Prometheus-style telemetry used for busy tracking, fail-over decisions,
-// and the at-scale measurements.
+// sched.go implements the original serverless scheduler of Section 5.3 —
+// a centralized FCFS queue over a pool of run-to-completion instances —
+// and the Prometheus-style telemetry registry used for busy tracking,
+// fail-over decisions, and the at-scale measurements.
+
 package sched
 
 import (

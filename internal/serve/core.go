@@ -5,6 +5,7 @@
 // goroutines under a lock, and the at-scale discrete-event simulation
 // (internal/cluster) drives the very same implementation from its virtual
 // clock, so the simulated rack and the real HTTP path share one scheduler.
+
 package serve
 
 import (
@@ -271,10 +272,29 @@ func (c *PoolCore) Conservation() error {
 type HybridCore struct {
 	// queue is the shared admission queue in the classic layout; nil when
 	// split, where each class PoolCore owns its own queue.
-	queue     *sched.HybridQueue
-	split     bool
+	queue *sched.HybridQueue
+	split bool
+	// multi backs the split layout: the two class pools are a two-member
+	// MultiCore (cpu = pool 0, dscs = pool 1), so the N-pool generalization
+	// and the classic hybrid pair share one implementation — including the
+	// queue-delay digests every dispatch records.
+	multi     *MultiCore
 	cpu, dscs *PoolCore
 	submitted int
+}
+
+// Split-layout pool indices within the backing MultiCore.
+const (
+	hybridCPUPool  = 0
+	hybridDSCSPool = 1
+)
+
+// poolIndex maps a class to its MultiCore index in the split layout.
+func poolIndex(class sched.InstanceClass) int {
+	if class == sched.ClassDSCS {
+		return hybridDSCSPool
+	}
+	return hybridCPUPool
 }
 
 // newPoolCoreOver builds a class pool over an externally owned queue. Zero
@@ -308,31 +328,35 @@ func NewHybridCore(cpuWorkers, dscsWorkers, queueDepth int, policy sched.Policy)
 }
 
 // NewSplitHybridCore builds the heterogeneous pool with per-class
-// backlogs, each bounded at queueDepth. A nil policy defaults to FCFS.
+// backlogs, each bounded at queueDepth. A nil policy defaults to FCFS. The
+// split layout is a two-member MultiCore underneath, so the hybrid pair
+// records queue-delay digests and supports wait-keyed rebalancing exactly
+// like an N-pool core.
 func NewSplitHybridCore(cpuWorkers, dscsWorkers, queueDepth int, policy sched.Policy) (*HybridCore, error) {
 	if cpuWorkers < 0 || dscsWorkers < 0 || cpuWorkers+dscsWorkers == 0 {
 		return nil, fmt.Errorf("serve: empty hybrid pool")
 	}
-	if policy == nil {
-		policy = sched.FCFSPolicy{}
-	}
-	cpuQ, err := sched.NewHybridQueue(queueDepth)
-	if err != nil {
-		return nil, err
-	}
-	dscsQ, err := sched.NewHybridQueue(queueDepth)
+	multi, err := NewMultiCore([]PoolSpec{
+		{Name: sched.ClassCPU.String(), Class: sched.ClassCPU, Workers: cpuWorkers, QueueDepth: queueDepth, Policy: policy},
+		{Name: sched.ClassDSCS.String(), Class: sched.ClassDSCS, Workers: dscsWorkers, QueueDepth: queueDepth, Policy: policy},
+	})
 	if err != nil {
 		return nil, err
 	}
 	return &HybridCore{
 		split: true,
-		cpu:   &PoolCore{queue: cpuQ, policy: policy, class: sched.ClassCPU, free: cpuWorkers, total: cpuWorkers},
-		dscs:  &PoolCore{queue: dscsQ, policy: policy, class: sched.ClassDSCS, free: dscsWorkers, total: dscsWorkers},
+		multi: multi,
+		cpu:   multi.Pool(hybridCPUPool),
+		dscs:  multi.Pool(hybridDSCSPool),
 	}, nil
 }
 
 // Split reports whether the core runs per-class backlogs.
 func (h *HybridCore) Split() bool { return h.split }
+
+// Multi exposes the backing N-pool core of the split layout (wait digests,
+// adaptive-balance decisions); nil for the classic shared-queue layout.
+func (h *HybridCore) Multi() *MultiCore { return h.multi }
 
 // Submit admits a task; it reports false (drop) at the queue bound. On a
 // split core it lands on the DSCS backlog (the accelerated tier requests
@@ -355,11 +379,7 @@ func (h *HybridCore) SubmitTo(class sched.InstanceClass, t sched.HybridTask) boo
 	if !h.split {
 		return h.Submit(t)
 	}
-	if !h.Class(class).Submit(t) {
-		return false
-	}
-	h.submitted++
-	return true
+	return h.multi.SubmitTo(poolIndex(class), t)
 }
 
 // Steal moves up to max of the from class's oldest queued tasks onto the
@@ -370,13 +390,23 @@ func (h *HybridCore) Steal(from, to sched.InstanceClass, max int) []sched.Hybrid
 	if !h.split || from == to {
 		return nil
 	}
-	return h.Class(to).StealFrom(h.Class(from), max)
+	return h.multi.Steal(poolIndex(from), poolIndex(to), max)
 }
 
 // Dispatch assigns work to a free worker, preferring DSCS capacity (it
 // serves faster). It returns the task, the class it runs on, and whether
-// anything was dispatched.
+// anything was dispatched. On a split core each dispatch records the
+// task's queue delay against the serving class's wait digest.
 func (h *HybridCore) Dispatch(now time.Duration) (sched.HybridTask, sched.InstanceClass, bool) {
+	if h.split {
+		if t, ok := h.multi.Dispatch(hybridDSCSPool, now); ok {
+			return t, sched.ClassDSCS, true
+		}
+		if t, ok := h.multi.Dispatch(hybridCPUPool, now); ok {
+			return t, sched.ClassCPU, true
+		}
+		return sched.HybridTask{}, sched.ClassCPU, false
+	}
 	if t, ok := h.dscs.Dispatch(now); ok {
 		return t, sched.ClassDSCS, true
 	}
@@ -430,6 +460,9 @@ func (h *HybridCore) Completed() int { return h.cpu.completed + h.dscs.completed
 // admitted task is queued, executing, or completed, and neither class saw
 // a completion without a matching dispatch.
 func (h *HybridCore) Conservation() error {
+	if h.split {
+		return h.multi.Conservation()
+	}
 	for _, c := range []*PoolCore{h.cpu, h.dscs} {
 		if err := c.Conservation(); err != nil {
 			return fmt.Errorf("%s class: %w", c.class, err)

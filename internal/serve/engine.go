@@ -1,22 +1,16 @@
-// Package serve is the concurrent invocation engine behind the gateway:
-// per-platform worker pools over the shared scheduling core (PoolCore and
-// its two-class sibling HybridCore), admission control on a bounded queue
-// with the pluggable policies of internal/sched (FCFS / criticality-aware /
-// DAG-aware), and request batching that coalesces same-benchmark
-// invocations into one DSA execution up to the profitable batch size
-// (Figure 14's regime) — per-dispatch lingering (BatchLinger) or the
-// queue-level SLO-aware BatchFormer (GlobalBatch/BatchSLO) that groups
-// arrivals across the whole queue before any worker dispatches. Queued
-// work rebalances in both directions: DSCS-class submissions spill over to
-// a CPU pool when the accelerated queue is deep (SpilloverThreshold,
-// submit-time push), and an idle pool steals the other class's backlog
-// past StealThreshold (drain-time pull, serve_steal_total{from,to}). DSCS
-// executions occupy one physical DSCS-Drive each, so drive-level
-// contention and the arbitration penalty on concurrent storage I/O show up
-// in live metrics. The discrete-event at-scale simulation
-// (internal/cluster) drives the same cores, windows, and former from its
-// virtual clock, so the simulated rack and the live HTTP path share one
-// scheduler implementation.
+// engine.go is the goroutine half of the serving core: the concurrent
+// invocation engine behind the gateway. Per-platform worker pools over the
+// shared scheduling state machines, admission control on a bounded queue
+// with the pluggable policies of internal/sched, request batching
+// (per-dispatch lingering or the queue-level SLO-aware former), two-way
+// queue rebalancing (submit-time spillover, drain-time stealing — static
+// depth counts or the wait-keyed AdaptiveBalance latch), per-drive
+// occupancy for DSCS executions, and the latency/wait observatories behind
+// the serve_latency_* and serve_queue_delay_* gauges. The discrete-event
+// at-scale simulation (internal/cluster) drives the same cores, windows,
+// and former from its virtual clock, so the simulated rack and the live
+// HTTP path share one scheduler implementation.
+
 package serve
 
 import (
@@ -86,7 +80,21 @@ type Options struct {
 	// dispatch comes up empty pulls queued work from the deepest pool of
 	// the other class once that backlog exceeds this depth, counted as
 	// serve_steal_total{from,to} (0, the default, disables stealing).
+	// Ignored when AdaptiveBalance keys the decision on wait delay instead.
 	StealThreshold int
+	// AdaptiveBalance replaces the static SpilloverThreshold/StealThreshold
+	// queue-depth counts with the wait-keyed decision: every dispatch
+	// records the served request's queue delay (arrival to dispatch) into
+	// per-{platform, class} digests, and work rebalances — DSCS submissions
+	// spill to a CPU pool at submit time, an idle worker steals any peer
+	// pool's backlog (same class included) at drain time — once the donor's
+	// adopted wait-p95 has diverged above the target's past the hysteresis
+	// latch (the metrics.Digest.Adopt bands — enter at 1.5x, release
+	// within 1.2x, after EstimateWarmup dispatches — over one
+	// metrics.Latch per pool pair). Queue delay is what the SLO actually
+	// spends while work sits behind a hot pool; depth counts are only a
+	// proxy for it.
+	AdaptiveBalance bool
 	// SpilloverThreshold routes a submission aimed at a DSCS-class pool
 	// to a CPU-class pool once the DSCS queue has reached this depth —
 	// the scarce accelerated capacity stays for work already committed to
@@ -321,11 +329,22 @@ type Engine struct {
 	// recorded on every completion. Always recording (it backs the
 	// serve_latency_* gauges); consumed by pricing only with
 	// Options.AdaptiveEstimates.
-	obs    *metrics.Observatory
-	start  time.Time
-	nextID atomic.Int64
-	wg     sync.WaitGroup
-	once   sync.Once
+	obs *metrics.Observatory
+	// waitObs is the queue-delay observatory keyed {platform, class}: every
+	// dispatch records each served request's arrival→dispatch wait against
+	// the pool that served it (a stolen request charges the thief). Always
+	// recording (it backs the serve_queue_delay_* gauges); consumed by the
+	// spillover/steal decisions only with Options.AdaptiveBalance.
+	waitObs *metrics.Observatory
+	// balanceMu guards latches, the per-(donor, peer) adoption latches of
+	// the wait-gap decisions — per pair, not per digest, so pairwise
+	// comparisons across N pools never share hysteresis state.
+	balanceMu sync.Mutex
+	latches   map[[2]string]*metrics.Latch
+	start     time.Time
+	nextID    atomic.Int64
+	wg        sync.WaitGroup
+	once      sync.Once
 }
 
 // NewEngine builds one worker pool per runner (the platform.All lineup in
@@ -343,11 +362,13 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	}
 	opt = opt.withDefaults()
 	e := &Engine{
-		opt:   opt,
-		tel:   opt.Telemetry,
-		pools: make(map[string]*pool, len(runners)),
-		obs:   metrics.NewObservatory(opt.EstimateWindow, opt.EstimateWarmup),
-		start: time.Now(),
+		opt:     opt,
+		tel:     opt.Telemetry,
+		pools:   make(map[string]*pool, len(runners)),
+		obs:     metrics.NewObservatory(opt.EstimateWindow, opt.EstimateWarmup),
+		waitObs: metrics.NewObservatory(opt.EstimateWindow, opt.EstimateWarmup),
+		latches: make(map[[2]string]*metrics.Latch),
+		start:   time.Now(),
 	}
 	var dscsStores []*objstore.Store
 	for name, r := range runners {
@@ -363,6 +384,11 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 			dscsStores = append(dscsStores, r.Store)
 		}
 		e.tel.Set("serve_workers{platform="+name+"}", float64(opt.Workers))
+		// Queue-delay gauges are registered up front so /metrics shows the
+		// wait observatory live before the first dispatch.
+		for _, q := range []string{"p50", "p95", "p99"} {
+			e.tel.Set("serve_queue_delay_"+q+"{platform="+name+",class="+class.String()+"}", 0)
+		}
 	}
 	for _, p := range e.pools {
 		if p.class == sched.ClassCPU {
@@ -373,7 +399,7 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	}
 	sort.Slice(e.spillCPU, func(i, j int) bool { return e.spillCPU[i].name < e.spillCPU[j].name })
 	sort.Slice(e.dscsPools, func(i, j int) bool { return e.dscsPools[i].name < e.dscsPools[j].name })
-	if opt.SpilloverThreshold > 0 {
+	if opt.SpilloverThreshold > 0 || opt.AdaptiveBalance {
 		if opt.SpilloverTo != "" {
 			t, ok := e.pools[opt.SpilloverTo]
 			if !ok {
@@ -383,7 +409,10 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 				return nil, fmt.Errorf("serve: spillover target %q is not a CPU-class pool", opt.SpilloverTo)
 			}
 		}
-		if len(e.spillCPU) == 0 {
+		if opt.SpilloverThreshold > 0 && len(e.spillCPU) == 0 {
+			// A static threshold with nowhere to spill is a configuration
+			// error; adaptive balance simply never spills on such a lineup
+			// (it can still steal between same-class pools).
 			return nil, fmt.Errorf("serve: spillover enabled with no CPU-class pool")
 		}
 		// Register the counters up front so /metrics shows the feature is
@@ -413,7 +442,7 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		}
 		e.tel.Inc("serve_batch_formed_total", 0)
 	}
-	if opt.StealThreshold > 0 {
+	if opt.StealThreshold > 0 || opt.AdaptiveBalance {
 		e.tel.Inc("serve_steal_total", 0)
 	}
 	e.drives = newDriveSet(dscsStores)
@@ -556,10 +585,14 @@ func (e *Engine) admit(p *pool, task sched.HybridTask, req *request, bounceIfFul
 	p.pending[task.ID] = req
 	e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
 	p.cond.Signal()
-	if e.opt.StealThreshold > 0 && p.core.QueueLen() > e.opt.StealThreshold {
-		// Pull-based rebalancing is driven by the thief, so a worker
-		// parked on its own empty queue must hear the peer backlog deepen.
-		// (Signaling a Cond without its lock is explicitly allowed.)
+	// Pull-based rebalancing is driven by the thief, so a worker parked on
+	// its own empty queue must hear the peer backlog deepen. (Signaling a
+	// Cond without its lock is explicitly allowed.) The static threshold
+	// wakes the other class past the depth count; adaptive balance wakes
+	// every peer via the shared latch-precondition gate.
+	if e.opt.AdaptiveBalance {
+		e.signalPeersForBalance(p, p.core.QueueLen() > 0)
+	} else if e.opt.StealThreshold > 0 && p.core.QueueLen() > e.opt.StealThreshold {
 		for _, d := range e.pools {
 			if d.class != p.class {
 				d.cond.Signal()
@@ -567,6 +600,29 @@ func (e *Engine) admit(p *pool, task sched.HybridTask, req *request, bounceIfFul
 		}
 	}
 	return nil
+}
+
+// signalPeersForBalance wakes every parked peer worker to re-check the
+// wait-gap latch against p — the adaptive analogue of the static
+// threshold's cross-class signal, shared by the submit-time (admit) and
+// dispatch-time (recordWaits) call sites so the two wakeup policies
+// cannot drift apart. The gate is exactly the latch's own arming
+// precondition: p has a backlog, its wait digest is warmed, and the
+// recent window actually holds waits — a zero windowed p95 can never arm
+// Latch.Above, so waking workers to lock-scan every pool then would be
+// pure overhead on the request path.
+func (e *Engine) signalPeersForBalance(p *pool, backlog bool) {
+	if !backlog || !e.waitWarmed(p) {
+		return
+	}
+	if e.waitDigestOf(p).Quantile(WaitQuantile) <= 0 {
+		return
+	}
+	for _, d := range e.pools {
+		if d != p {
+			d.cond.Signal()
+		}
+	}
 }
 
 // Submit enqueues one invocation and blocks until a worker serves it (or
@@ -588,13 +644,31 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 		return Invocation{}, fmt.Errorf("serve: nil benchmark")
 	}
 	target, spilled := p, false
-	if e.opt.SpilloverThreshold > 0 && p.class == sched.ClassDSCS {
-		p.mu.Lock()
-		depth := p.core.QueueLen()
-		p.mu.Unlock()
-		if depth >= e.opt.SpilloverThreshold {
-			if t := e.spillTarget(); t != nil && t != p {
-				target, spilled = t, true
+	if p.class == sched.ClassDSCS {
+		switch {
+		case e.opt.AdaptiveBalance:
+			// Wait-keyed spillover: reroute once this pool's adopted
+			// wait-p95 has latched above the spill target's — queue delay,
+			// not queue depth, is what the submission is about to pay. An
+			// empty queue never spills: there is no backlog to route
+			// around, and noise-level warmed waits beside an idle peer
+			// must not reroute work that would dispatch immediately.
+			p.mu.Lock()
+			depth := p.core.QueueLen()
+			p.mu.Unlock()
+			if depth > 0 {
+				if t := e.adaptiveSpillTarget(); t != nil && t != p && e.waitGapToPool(p, t) {
+					target, spilled = t, true
+				}
+			}
+		case e.opt.SpilloverThreshold > 0:
+			p.mu.Lock()
+			depth := p.core.QueueLen()
+			p.mu.Unlock()
+			if depth >= e.opt.SpilloverThreshold {
+				if t := e.spillTarget(); t != nil && t != p {
+					target, spilled = t, true
+				}
 			}
 		}
 	}
@@ -734,26 +808,117 @@ func lingerSlice(linger time.Duration) time.Duration {
 	return slice
 }
 
-// stealInto pulls queued work from the deepest pool of the other class
-// whose backlog exceeds StealThreshold into p — the drain-time half of
-// rebalancing, complementing submit-time spillover. The caller holds p.mu;
-// stealInto releases it and retakes both pool locks in name order (the
-// engine-wide lock order), so two pools stealing from each other cannot
-// deadlock. It returns how many requests moved; p.mu is held again on
-// return.
+// waitDigestOf reads a pool's queue-delay digest (nil before its first
+// dispatch).
+func (e *Engine) waitDigestOf(p *pool) *metrics.Digest {
+	return e.waitObs.Digest(p.name, p.class.String())
+}
+
+// pricedWait is what moved work would wait on a pool right now: its
+// recorded wait-p95 — except that an idle pool (empty backlog, free
+// worker) serves new work immediately and prices at zero, whatever its
+// digest holds (its recorded waits may be history it imported rescuing
+// the very donor asking). The MultiCore peerWait pricing, on engine pools.
+func (e *Engine) pricedWait(p *pool) time.Duration {
+	p.mu.Lock()
+	idle := p.core.QueueLen() == 0 && p.core.Busy() < p.core.Workers()
+	p.mu.Unlock()
+	if idle {
+		return 0
+	}
+	if dg := e.waitDigestOf(p); dg != nil {
+		return dg.Quantile(WaitQuantile)
+	}
+	return 0
+}
+
+// adaptiveSpillTarget picks the CPU-class pool a wait-keyed spill lands
+// on: the configured SpilloverTo pool, or the peer with the lowest priced
+// wait — mirroring MultiCore.BalanceTarget, where ranking by queue depth
+// or raw digest p95 would let a shallow-but-slow (or rescue-contaminated)
+// pool shadow a genuinely cheap one. Ties break by name: spillCPU is
+// name-sorted and the strict < keeps the first.
+func (e *Engine) adaptiveSpillTarget() *pool {
+	if e.opt.SpilloverTo != "" {
+		return e.pools[e.opt.SpilloverTo]
+	}
+	var best *pool
+	var bestWait time.Duration
+	for _, c := range e.spillCPU {
+		if w := e.pricedWait(c); best == nil || w < bestWait {
+			best, bestWait = c, w
+		}
+	}
+	return best
+}
+
+// waitGapToPool is the engine's adaptive-balance trigger: whether donor's
+// adopted wait-p95 has latched above what moved work would wait on peer
+// (see waitGapLatched — the same decision MultiCore applies in the
+// simulations). The balanceMu critical section is a map lookup plus one
+// ratio comparison — nanoseconds, far below the pool mutexes already on
+// this path.
+func (e *Engine) waitGapToPool(donor, peer *pool) bool {
+	peerWait := e.pricedWait(peer)
+	e.balanceMu.Lock()
+	defer e.balanceMu.Unlock()
+	k := [2]string{donor.name, peer.name}
+	latch := e.latches[k]
+	if latch == nil {
+		latch = &metrics.Latch{}
+		e.latches[k] = latch
+	}
+	return waitGapLatched(e.waitDigestOf(donor), latch, peerWait, e.waitObs.Warmup())
+}
+
+// waitWarmed reports whether a pool's wait digest has enough observations
+// for the balance latch to possibly trip — the cheap gate that keeps the
+// adaptive wakeup signals from firing while no steal can trigger anyway.
+func (e *Engine) waitWarmed(p *pool) bool {
+	dg := e.waitDigestOf(p)
+	return dg != nil && dg.Count() >= e.waitObs.Warmup()
+}
+
+// stealInto pulls queued work from a donor pool into p — the drain-time
+// half of rebalancing, complementing submit-time spillover. With the
+// static StealThreshold the donor is the deepest pool of the other class
+// whose backlog exceeds the count; with AdaptiveBalance it is the deepest
+// pool of any class (same-class platforms rebalance too) whose adopted
+// wait-p95 gap over p has latched. The caller holds p.mu; stealInto
+// releases it and retakes both pool locks in name order (the engine-wide
+// lock order), so two pools stealing from each other cannot deadlock. It
+// returns how many requests moved; p.mu is held again on return.
 func (e *Engine) stealInto(p *pool) int {
 	p.mu.Unlock()
 	var donor *pool
-	deepest := e.opt.StealThreshold
-	for _, d := range e.pools {
-		if d == p || d.class == p.class {
-			continue
+	if e.opt.AdaptiveBalance {
+		deepest := 0
+		for _, d := range e.pools {
+			if d == p {
+				continue
+			}
+			d.mu.Lock()
+			depth := d.core.QueueLen()
+			d.mu.Unlock()
+			if depth == 0 || !e.waitGapToPool(d, p) {
+				continue
+			}
+			if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
+				donor, deepest = d, depth
+			}
 		}
-		d.mu.Lock()
-		depth := d.core.QueueLen()
-		d.mu.Unlock()
-		if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
-			donor, deepest = d, depth
+	} else {
+		deepest := e.opt.StealThreshold
+		for _, d := range e.pools {
+			if d == p || d.class == p.class {
+				continue
+			}
+			d.mu.Lock()
+			depth := d.core.QueueLen()
+			d.mu.Unlock()
+			if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
+				donor, deepest = d, depth
+			}
 		}
 	}
 	if donor == nil {
@@ -768,8 +933,14 @@ func (e *Engine) stealInto(p *pool) int {
 	second.mu.Lock()
 	moved := 0
 	// Re-check under both locks: the backlog may have drained, or the
-	// engine may be closing, since the unlocked scan.
-	if !p.closed && !donor.closed && donor.core.QueueLen() > e.opt.StealThreshold {
+	// engine may be closing, since the unlocked scan. (The adaptive latch
+	// itself is not re-checked — it just tripped, and hysteresis means a
+	// single completion cannot have released it.)
+	floor := e.opt.StealThreshold
+	if e.opt.AdaptiveBalance {
+		floor = 0
+	}
+	if !p.closed && !donor.closed && donor.core.QueueLen() > floor {
 		tasks := p.core.StealFrom(donor.core, e.opt.MaxBatch)
 		for _, t := range tasks {
 			if r := donor.pending[t.ID]; r != nil {
@@ -852,7 +1023,7 @@ func (e *Engine) worker(p *pool) {
 				p.mu.Unlock()
 				return
 			}
-			if e.opt.StealThreshold > 0 {
+			if e.opt.StealThreshold > 0 || e.opt.AdaptiveBalance {
 				stole := e.stealInto(p)
 				// Re-check before parking: stealInto dropped p.mu, so a
 				// submission may have signaled into the gap and its wakeup
@@ -865,6 +1036,15 @@ func (e *Engine) worker(p *pool) {
 			continue
 		}
 		bs := e.newBatch(p, task)
+		// Queue delay ends at this dispatch: the linger window below holds
+		// an already-assigned batch open (worker-side batching, not
+		// queueing), and waiting for a physical drive further down is
+		// execution contention. Recording either as wait would let a lone
+		// lingered request read as linger-length queue delay — on a quiet
+		// pool the gauges would converge on BatchLinger and the balance
+		// latch would see congestion that is not there. (The simulation
+		// records at core dispatch the same way.)
+		dispatched := time.Now()
 		if e.opt.BatchLinger > 0 && e.opt.MaxBatch > 1 && p.core.Former() == nil {
 			// Deadline-aware batching: the same BatchWindow decision the
 			// discrete-event simulation drives from its virtual clock,
@@ -880,6 +1060,18 @@ func (e *Engine) worker(p *pool) {
 		}
 		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
 		p.mu.Unlock()
+
+		e.recordWaits(p, bs.reqs, dispatched)
+		if e.opt.AdaptiveBalance {
+			// This dispatch just updated the pool's wait digest — the
+			// signal the balance latch reads. If a backlog remains, parked
+			// peers must re-check it: with no further arrivals to signal
+			// them, a freshly tripped latch would otherwise go unheard.
+			p.mu.Lock()
+			backlog := p.core.QueueLen() > 0
+			p.mu.Unlock()
+			e.signalPeersForBalance(p, backlog)
+		}
 
 		// DSCS-class executions occupy the physical drive holding their
 		// input replica for the duration (run-to-completion, Section 5.3);
@@ -903,7 +1095,6 @@ func (e *Engine) worker(p *pool) {
 			}
 		}
 
-		dispatched := time.Now()
 		opt := lead.opt
 		opt.Batch = bs.batch
 		res, err := p.runner.Invoke(lead.bench, opt)
@@ -929,6 +1120,11 @@ func (e *Engine) worker(p *pool) {
 		}
 		for _, r := range bs.reqs {
 			wait := dispatched.Sub(r.enq)
+			if wait < 0 {
+				// Gathered into the batch during the linger window, after
+				// the dispatch instant: it effectively never queued.
+				wait = 0
+			}
 			e.tel.Inc("serve_wait_ms_total", float64(wait)/float64(time.Millisecond))
 			r.done <- outcome{res: res, err: err, platform: p.name, queued: wait,
 				batchRequests: len(bs.reqs), batchSize: bs.batch}
@@ -1045,6 +1241,38 @@ func (e *Engine) observe(slug, platformName string, service time.Duration) {
 	e.tel.SetDuration("serve_latency_p95"+labels, dg.StreamQuantile(0.95))
 	e.tel.SetDuration("serve_latency_p99"+labels, dg.StreamQuantile(0.99))
 }
+
+// recordWaits folds one dispatched batch's queue delays — each request's
+// arrival→dispatch wait — into the wait observatory under the serving
+// pool's {platform, class} key and refreshes the serve_queue_delay_*
+// gauges. A stolen request charges its wait to the pool that served it,
+// while its enqueue instant survives the move — so a hot pool's digest
+// reflects what its own backlog cost, not what it exported. (A request
+// gathered during the linger window can postdate the dispatch instant;
+// Digest.Record clamps the negative wait to zero.)
+func (e *Engine) recordWaits(p *pool, reqs []*request, dispatched time.Time) {
+	var dg *metrics.Digest
+	for _, r := range reqs {
+		dg = e.waitObs.Record(p.name, p.class.String(), dispatched.Sub(r.enq))
+	}
+	if dg == nil {
+		return
+	}
+	// Unlike the cumulative serve_latency_* gauges, these publish the
+	// sliding-window quantiles — the very values the balance latch reads —
+	// so an operator alerting on serve_queue_delay_p95 watches the same
+	// signal that trips rebalancing, and the gauge falls back once a
+	// congested window drains instead of staying inflated by history.
+	// Windowed reads are O(1) off the sorted ring.
+	labels := "{platform=" + p.name + ",class=" + p.class.String() + "}"
+	e.tel.SetDuration("serve_queue_delay_p50"+labels, dg.Quantile(0.50))
+	e.tel.SetDuration("serve_queue_delay_p95"+labels, dg.Quantile(WaitQuantile))
+	e.tel.SetDuration("serve_queue_delay_p99"+labels, dg.Quantile(0.99))
+}
+
+// WaitObservatory exposes the engine's queue-delay digests (diagnostics,
+// tests).
+func (e *Engine) WaitObservatory() *metrics.Observatory { return e.waitObs }
 
 // observedService blends one class's static service prior toward the
 // observed p50 of that class's best-observed pool (the cached class lists

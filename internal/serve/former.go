@@ -8,6 +8,7 @@
 // rest of the scheduling core it is clock-free — the live engine feeds it
 // wall time from worker goroutines and the discrete-event simulation feeds
 // it virtual time, so both exercise the same forming decision.
+
 package serve
 
 import (
