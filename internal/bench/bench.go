@@ -1,0 +1,429 @@
+// Package bench is the raw-speed harness behind `dscsbench -hotpath`: it
+// times every hot-path stage of the serve core — PoolCore Submit, Dispatch,
+// DispatchFormed, StealFrom, digest Record, and the full engine round-trip
+// — at 1, 8, and 64 workers, and emits the committed BENCH_<n>.json
+// trajectory point each PR appends to. The engine round-trip runs twice per
+// worker count: the blocking arm (direct admit under the pool lock, one
+// reply-channel round-trip per call) and the sharded arm (per-P ingress,
+// fire-and-forget SubmitAsync). Both arms share this binary's internals,
+// so their ratio isolates the ingress design; the campaign's headline
+// ratio instead divides sharded_w64 by the recorded pre-shard baseline —
+// the parent commit's blocking throughput, measured once with the same
+// shape and pinned in the report (Report.PreShard) so the comparison
+// never flatters itself by running the old path atop new internals.
+//
+// The harness measures with fixed-duration loops rather than testing.B so
+// a plain binary can run it; allocation rates come from runtime.MemStats
+// deltas (process-global, so per-op numbers are upper bounds when the
+// engine's own workers run concurrently with the timed loop).
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dscs/internal/faas"
+	"dscs/internal/metrics"
+	"dscs/internal/sched"
+	"dscs/internal/serve"
+	"dscs/internal/workload"
+)
+
+// Workers are the concurrency levels every stage runs at.
+var Workers = []int{1, 8, 64}
+
+// Result is one (stage, workers) measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Workers     int     `json:"workers"`
+	Ops         int64   `json:"ops"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// Report is one PR's trajectory point: the full suite plus the sustained
+// submit-rate summary the regression gate compares.
+type Report struct {
+	Schema     string `json:"schema"`
+	PR         int    `json:"pr"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Results holds every (stage, workers) point.
+	Results []Result `json:"results"`
+	// SubmitsPerSec summarizes the engine round-trip arms, keyed
+	// "baseline_w<N>" / "sharded_w<N>" — sustained admitted-and-served
+	// invocations per second.
+	SubmitsPerSec map[string]float64 `json:"submits_per_sec"`
+	// Speedup64 is sharded_w64 / baseline_w64 — both arms measured in this
+	// binary, so the ratio isolates what the sharded ingress buys over the
+	// blocking path atop otherwise identical internals.
+	Speedup64 float64 `json:"speedup_64"`
+	// PreShard pins the true pre-shard baseline: the blocking path as it
+	// performed at the parent commit, measured once with this same
+	// methodology and recorded here so the headline comparison never
+	// flatters itself by measuring the old path atop new internals.
+	PreShard *PreShard `json:"pre_shard,omitempty"`
+	// Speedup64PreShard is sharded_w64 over the pre-shard baseline — the
+	// raw-speed campaign's headline ratio.
+	Speedup64PreShard float64 `json:"speedup_64_pre_shard,omitempty"`
+}
+
+// PreShard is the parent-commit measurement backing Speedup64PreShard:
+// 64 submitters driving the blocking Submit loop with execution stubbed,
+// exactly the engine_blocking arm's shape, run at the recorded commit.
+// ARCHITECTURE.md's perf-methodology section gives the reproduction
+// recipe.
+type PreShard struct {
+	SubmitsPerSec float64 `json:"submits_per_sec"`
+	Commit        string  `json:"commit"`
+	Note          string  `json:"note,omitempty"`
+}
+
+// Schema identifies the BENCH_*.json layout.
+const Schema = "dscs-bench/v1"
+
+// Options tune a harness run.
+type Options struct {
+	// PerStage is how long each (stage, workers) point runs (default
+	// 100ms; CI smoke uses less, the committed file more).
+	PerStage time.Duration
+	// PR stamps the report (BENCH_<PR>.json).
+	PR int
+	// PreShard, when set, is copied into the report (see Report.PreShard).
+	PreShard *PreShard
+}
+
+// Run executes the full suite and returns the report.
+func Run(opt Options) (*Report, error) {
+	if opt.PerStage <= 0 {
+		opt.PerStage = 100 * time.Millisecond
+	}
+	rep := &Report{
+		Schema:        Schema,
+		PR:            opt.PR,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		SubmitsPerSec: make(map[string]float64),
+	}
+	for _, w := range Workers {
+		stages := []struct {
+			name string
+			fn   func(workers int, d time.Duration) (int64, time.Duration, error)
+		}{
+			{"core_submit", stageSubmit},
+			{"core_dispatch", stageDispatch},
+			{"core_dispatch_formed", stageDispatchFormed},
+			{"core_steal_from", stageStealFrom},
+			{"digest_record", stageDigestRecord},
+		}
+		for _, s := range stages {
+			r, err := measure(s.name, w, opt.PerStage, s.fn)
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, r)
+		}
+		for _, arm := range []struct {
+			name    string
+			sharded bool
+		}{{"engine_blocking", false}, {"engine_sharded", true}} {
+			r, err := measure(arm.name, w, opt.PerStage,
+				func(workers int, d time.Duration) (int64, time.Duration, error) {
+					return stageEngine(workers, d, arm.sharded)
+				})
+			if err != nil {
+				return nil, err
+			}
+			rep.Results = append(rep.Results, r)
+			key := "baseline"
+			if arm.sharded {
+				key = "sharded"
+			}
+			rep.SubmitsPerSec[fmt.Sprintf("%s_w%d", key, w)] = r.OpsPerSec
+		}
+	}
+	if base := rep.SubmitsPerSec["baseline_w64"]; base > 0 {
+		rep.Speedup64 = rep.SubmitsPerSec["sharded_w64"] / base
+	}
+	if opt.PreShard != nil && opt.PreShard.SubmitsPerSec > 0 {
+		ps := *opt.PreShard
+		rep.PreShard = &ps
+		rep.Speedup64PreShard = rep.SubmitsPerSec["sharded_w64"] / ps.SubmitsPerSec
+	}
+	return rep, nil
+}
+
+// measure wraps one stage run with the MemStats bracket and rate math.
+func measure(name string, workers int, d time.Duration,
+	fn func(workers int, d time.Duration) (int64, time.Duration, error)) (Result, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	ops, elapsed, err := fn(workers, d)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench %s/w%d: %w", name, workers, err)
+	}
+	runtime.ReadMemStats(&after)
+	if ops <= 0 {
+		return Result{}, fmt.Errorf("bench %s/w%d: no ops completed", name, workers)
+	}
+	return Result{
+		Name:        name,
+		Workers:     workers,
+		Ops:         ops,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(ops),
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(ops),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(ops),
+	}, nil
+}
+
+// runTimed fans body out over workers goroutines until the deadline; body
+// returns how many ops one call performed. The deadline is a timer-set
+// flag, not a per-iteration clock read — at ~100ns/op a time.Now per
+// iteration would be a quarter of the measurement.
+func runTimed(workers int, d time.Duration, body func() int64) (int64, time.Duration) {
+	var (
+		ops  atomic.Int64
+		wg   sync.WaitGroup
+		stop atomic.Bool
+	)
+	start := time.Now()
+	timer := time.AfterFunc(d, func() { stop.Store(true) })
+	defer timer.Stop()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for !stop.Load() {
+				local += body()
+			}
+			ops.Add(local)
+		}()
+	}
+	wg.Wait()
+	return ops.Load(), time.Since(start)
+}
+
+const coreQueueDepth = 4096
+
+// lockedCore is a PoolCore behind a mutex — exactly how the engine
+// serializes core access, so the core stages measure the state machine
+// plus the serialization cost the sharded ingress amortizes.
+type lockedCore struct {
+	mu   sync.Mutex
+	core *serve.PoolCore
+}
+
+func newLockedCore(former bool) (*lockedCore, error) {
+	core, err := serve.NewPoolCore(8, coreQueueDepth, sched.ClassCPU, sched.FCFSPolicy{})
+	if err != nil {
+		return nil, err
+	}
+	if former {
+		core.AttachFormer(serve.NewBatchFormer(8, 0, 0, sched.ClassCPU))
+	}
+	return &lockedCore{core: core}, nil
+}
+
+// stageSubmit measures PoolCore.Submit under the pool-style lock; a full
+// queue drains inline (Dispatch+Complete, uncounted) so the loop sustains.
+func stageSubmit(workers int, d time.Duration) (int64, time.Duration, error) {
+	lc, err := newLockedCore(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	var seq atomic.Int64
+	ops, elapsed := runTimed(workers, d, func() int64 {
+		id := int(seq.Add(1))
+		lc.mu.Lock()
+		if !lc.core.Submit(sched.HybridTask{ID: id, Payload: "bench"}) {
+			for {
+				if _, ok := lc.core.Dispatch(0); !ok {
+					break
+				}
+				lc.core.Complete(1)
+			}
+			lc.core.Submit(sched.HybridTask{ID: id, Payload: "bench"})
+		}
+		lc.mu.Unlock()
+		return 1
+	})
+	return ops, elapsed, nil
+}
+
+// stageDispatch measures PoolCore.Dispatch; an empty queue refills inline
+// (uncounted).
+func stageDispatch(workers int, d time.Duration) (int64, time.Duration, error) {
+	lc, err := newLockedCore(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	var seq atomic.Int64
+	ops, elapsed := runTimed(workers, d, func() int64 {
+		lc.mu.Lock()
+		if _, ok := lc.core.Dispatch(0); ok {
+			lc.core.Complete(1)
+			lc.mu.Unlock()
+			return 1
+		}
+		for lc.core.Submit(sched.HybridTask{ID: int(seq.Add(1)), Payload: "bench"}) {
+		}
+		lc.mu.Unlock()
+		return 0
+	})
+	return ops, elapsed, nil
+}
+
+// stageDispatchFormed measures DispatchFormed through an attached
+// zero-linger former: every refill passes Observe, every drain releases
+// formed groups.
+func stageDispatchFormed(workers int, d time.Duration) (int64, time.Duration, error) {
+	lc, err := newLockedCore(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	var seq atomic.Int64
+	ops, elapsed := runTimed(workers, d, func() int64 {
+		lc.mu.Lock()
+		if _, ok, _, _ := lc.core.DispatchFormed(0); ok {
+			lc.core.Complete(1)
+			lc.mu.Unlock()
+			return 1
+		}
+		f := lc.core.Former()
+		for {
+			task := sched.HybridTask{ID: int(seq.Add(1)), Payload: "bench"}
+			if !lc.core.Submit(task) {
+				break
+			}
+			f.Observe(task, 1)
+		}
+		lc.mu.Unlock()
+		return 0
+	})
+	return ops, elapsed, nil
+}
+
+// stageStealFrom measures StealFrom between two cores: the thief pulls up
+// to MaxBatch-sized chunks from a donor the loop keeps refilled. Ops count
+// moved tasks.
+func stageStealFrom(workers int, d time.Duration) (int64, time.Duration, error) {
+	donor, err := newLockedCore(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	thief, err := serve.NewPoolCore(8, coreQueueDepth, sched.ClassDSCS, sched.FCFSPolicy{})
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		thiefMu sync.Mutex
+		seq     atomic.Int64
+	)
+	ops, elapsed := runTimed(workers, d, func() int64 {
+		donor.mu.Lock()
+		thiefMu.Lock()
+		moved := thief.StealFrom(donor.core, 8)
+		for range moved {
+			if _, ok := thief.Dispatch(0); ok {
+				thief.Complete(1)
+			}
+		}
+		thiefMu.Unlock()
+		if len(moved) == 0 {
+			for donor.core.Submit(sched.HybridTask{ID: int(seq.Add(1)), Payload: "bench"}) {
+			}
+		}
+		donor.mu.Unlock()
+		return int64(len(moved))
+	})
+	return ops, elapsed, nil
+}
+
+// stageDigestRecord measures metrics.Digest.Record — the lock-free per-P
+// staging path every completion takes.
+func stageDigestRecord(workers int, d time.Duration) (int64, time.Duration, error) {
+	dg := metrics.NewDigest(0)
+	ops, elapsed := runTimed(workers, d, func() int64 {
+		dg.Record(time.Millisecond)
+		return 1
+	})
+	return ops, elapsed, nil
+}
+
+// stageEngine measures the full engine round-trip with execution stubbed
+// to a no-op, so the number is the scheduling path itself: admission,
+// batching, dispatch, completion bookkeeping, telemetry. The sharded arm
+// drives SubmitAsync over the per-P ingress; the baseline arm is the
+// pre-shard path — direct admit under the pool lock, one blocking reply
+// channel round-trip per call.
+func stageEngine(workers int, d time.Duration, sharded bool) (int64, time.Duration, error) {
+	runners, err := Runners()
+	if err != nil {
+		return 0, 0, err
+	}
+	opt := serve.Options{
+		Workers:    8,
+		QueueDepth: coreQueueDepth,
+		MaxBatch:   8,
+		Execute: func(*faas.Runner, *workload.Benchmark, faas.Options) (faas.Result, error) {
+			return faas.Result{}, nil
+		},
+	}
+	if !sharded {
+		opt.IngressShards = -1
+	}
+	eng, err := serve.NewEngine(runners, opt)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer eng.Close()
+	b := workload.BySlug("chatbot")
+	if b == nil {
+		return 0, 0, fmt.Errorf("unknown benchmark slug chatbot")
+	}
+	fopt := faas.Options{Quantile: 0.5}
+	var ops int64
+	var elapsed time.Duration
+	if sharded {
+		start := time.Now()
+		n, _ := runTimed(workers, d, func() int64 {
+			if err := eng.SubmitAsync("Baseline (CPU)", b, fopt); err != nil {
+				// Admission bound reached: the workers are behind; yield
+				// and retry rather than spinning on the full queue.
+				runtime.Gosched()
+				return 0
+			}
+			return 1
+		})
+		// Sustained means served: the arm's clock runs until the admitted
+		// backlog drains, not just until the last successful admit.
+		if !eng.Quiesce(30 * time.Second) {
+			return 0, 0, fmt.Errorf("engine did not quiesce")
+		}
+		ops, elapsed = n, time.Since(start)
+	} else {
+		ops, elapsed = runTimed(workers, d, func() int64 {
+			if _, err := eng.Submit("Baseline (CPU)", b, fopt); err != nil {
+				runtime.Gosched()
+				return 0
+			}
+			return 1
+		})
+	}
+	if err := eng.Conservation(); err != nil {
+		return 0, 0, err
+	}
+	return ops, elapsed, nil
+}

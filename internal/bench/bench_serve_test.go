@@ -1,0 +1,73 @@
+// bench_serve_test.go exposes the hot-path suite to `go test -bench`: the
+// same stage bodies dscsbench -hotpath times with fixed-duration loops run
+// here under testing.B's iteration control, so `go test -bench=ServeHotPath
+// -benchmem` gives per-stage ns/op, B/op, and allocs/op at 1, 8, and 64
+// workers, and CI's bench-smoke (`-benchtime=1x`) proves every stage still
+// runs. Profiles come free: `go test -bench=ServeHotPathEngine/sharded_w64
+// -cpuprofile cpu.out ./internal/bench`.
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// benchStage adapts a fixed-duration stage to testing.B: each b.N batch
+// runs the stage body for a duration proportional to b.N so short smoke
+// runs (-benchtime=1x) stay fast while real runs measure steadily.
+func benchStage(b *testing.B, workers int,
+	fn func(workers int, d time.Duration) (int64, time.Duration, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	// One iteration of the testing.B loop = one fixed-duration stage run;
+	// report per-op figures from the stage's own op count.
+	var ops int64
+	var elapsed time.Duration
+	d := 2 * time.Millisecond
+	if b.N > 1 {
+		d = 20 * time.Millisecond
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, e, err := fn(workers, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += n
+		elapsed += e
+	}
+	b.StopTimer()
+	if ops > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(ops), "ns/req")
+		b.ReportMetric(float64(ops)/elapsed.Seconds(), "req/s")
+	}
+}
+
+func forWorkers(b *testing.B, fn func(workers int, d time.Duration) (int64, time.Duration, error)) {
+	b.Helper()
+	for _, w := range Workers {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) { benchStage(b, w, fn) })
+	}
+}
+
+func BenchmarkServeHotPathSubmit(b *testing.B)         { forWorkers(b, stageSubmit) }
+func BenchmarkServeHotPathDispatch(b *testing.B)       { forWorkers(b, stageDispatch) }
+func BenchmarkServeHotPathDispatchFormed(b *testing.B) { forWorkers(b, stageDispatchFormed) }
+func BenchmarkServeHotPathStealFrom(b *testing.B)      { forWorkers(b, stageStealFrom) }
+func BenchmarkServeHotPathDigestRecord(b *testing.B)   { forWorkers(b, stageDigestRecord) }
+
+func BenchmarkServeHotPathEngine(b *testing.B) {
+	for _, arm := range []struct {
+		name    string
+		sharded bool
+	}{{"baseline", false}, {"sharded", true}} {
+		for _, w := range Workers {
+			b.Run(fmt.Sprintf("%s_w%d", arm.name, w), func(b *testing.B) {
+				benchStage(b, w, func(workers int, d time.Duration) (int64, time.Duration, error) {
+					return stageEngine(workers, d, arm.sharded)
+				})
+			})
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// compare.go is the trajectory gate: it loads a committed BENCH_*.json and
+// fails when the current run's sustained submit rates have regressed past
+// tolerance. CI runs it against the newest committed report, so a PR that
+// slows the submit path down by more than the gate fails before merge.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// DefaultTolerance is the accepted fractional regression in submits/sec
+// before Compare fails (20%, per the raw-speed campaign's gate).
+const DefaultTolerance = 0.20
+
+// Load reads a report from disk.
+func Load(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("bench: %s has schema %q, want %q", path, rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
+// Write stores a report, indented for review-friendly diffs.
+func (r *Report) Write(path string) error {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// Compare checks current against committed: every submits/sec key present
+// in both must be within tolerance of the committed rate. It returns the
+// per-key deltas (for logging) and an error when any key regressed.
+func Compare(committed, current *Report, tolerance float64) ([]string, error) {
+	if tolerance <= 0 {
+		tolerance = DefaultTolerance
+	}
+	keys := make([]string, 0, len(committed.SubmitsPerSec))
+	for k := range committed.SubmitsPerSec {
+		if _, ok := current.SubmitsPerSec[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("bench: no comparable submits/sec keys between reports")
+	}
+	var lines []string
+	var failed []string
+	for _, k := range keys {
+		was, now := committed.SubmitsPerSec[k], current.SubmitsPerSec[k]
+		delta := 0.0
+		if was > 0 {
+			delta = (now - was) / was
+		}
+		lines = append(lines, fmt.Sprintf("%-16s %12.0f -> %12.0f  (%+.1f%%)", k, was, now, delta*100))
+		if was > 0 && now < was*(1-tolerance) {
+			failed = append(failed, k)
+		}
+	}
+	if len(failed) > 0 {
+		return lines, fmt.Errorf("bench: submits/sec regressed past %.0f%% on %v", tolerance*100, failed)
+	}
+	return lines, nil
+}

@@ -1,0 +1,47 @@
+// env.go builds the harness's serving environment: the same 4-SSD +
+// 2-DSCS-drive object store and platform lineup the serve package's tests
+// run against, constructed here without a testing.T so the dscsbench
+// binary can drive it.
+package bench
+
+import (
+	"fmt"
+
+	"dscs/internal/csd"
+	"dscs/internal/faas"
+	"dscs/internal/objstore"
+	"dscs/internal/platform"
+	"dscs/internal/sim"
+	"dscs/internal/ssd"
+)
+
+// Runners builds the benchmark environment's platform runners.
+func Runners() (map[string]*faas.Runner, error) {
+	var nodes []*objstore.Node
+	for i := 0; i < 4; i++ {
+		d, err := ssd.New(ssd.SmartSSDClass())
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("ssd-%d", i), Kind: objstore.PlainSSD, SSD: d,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		d, err := csd.New(csd.Default())
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("dscs-%d", i), Kind: objstore.DSCSDrive, CSD: d,
+		})
+	}
+	store, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(23))
+	if err != nil {
+		return nil, err
+	}
+	return map[string]*faas.Runner{
+		"DSCS-Serverless": faas.NewRunner(store, platform.DSCS()),
+		"Baseline (CPU)":  faas.NewRunner(store, platform.BaselineCPU()),
+	}, nil
+}

@@ -15,8 +15,11 @@ package metrics
 
 import (
 	"math"
+	"runtime"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -43,20 +46,63 @@ const (
 // streamQuantiles are the cumulative P² targets every digest maintains.
 var streamQuantiles = [...]float64{0.50, 0.95, 0.99}
 
+// Staging geometry: Record stages observations in per-shard fixed rings
+// (contention-free for writers) that fold into the merged window and P²
+// state only when a shard fills or a reader asks — readers pay the merge,
+// writers never do.
+const (
+	// stageCap is one staging shard's capacity, in observations.
+	stageCap = 16
+	// maxStageShards bounds the per-digest shard count (shards default to
+	// GOMAXPROCS, capped here so a digest's footprint stays small).
+	maxStageShards = 8
+)
+
+// stageEntry is one staged observation with its global sequence number:
+// the read-time merge folds entries in sequence order, so a deterministic
+// (single-goroutine) Record stream folds exactly as the pre-sharding
+// digest ingested it — quantiles, P² state, and adoption flips stay
+// bit-identical — no matter which shard each observation landed on.
+type stageEntry struct {
+	seq uint64
+	v   time.Duration
+}
+
+// digestShard is one staging ring. Writers touch only their shard's lock,
+// which with per-P shard selection is effectively uncontended.
+type digestShard struct {
+	mu  sync.Mutex
+	n   int
+	buf [stageCap]stageEntry
+}
+
 // Digest is one {benchmark, platform} latency record: a sliding window of
 // the last Window observations plus P² streaming estimators over the whole
-// stream. Safe for concurrent use. The sorted window view is maintained
-// incrementally — Record pays one binary-search insert (plus one evict once
-// the ring wraps, each a bounded memmove, no allocation), and quantile
-// reads are O(1) index math — so neither the workers' record path nor the
-// submit path's pricing reads ever sorts under the lock.
+// stream. Safe for concurrent use, and built for write-heavy use: Record
+// appends to a per-P staging shard (no allocation, no shared lock), and
+// the merged state — the window ring and the P² markers — is folded
+// forward at read time under the digest lock. The sorted window view is
+// lazier still: folds only mark it stale, and the next windowed read
+// rebuilds it from the ring in one sort — so a write-heavy stretch pays
+// O(1) per observation no matter how large the window.
 type Digest struct {
 	mu     sync.Mutex
 	ring   []time.Duration // eviction order (circular)
 	next   int
-	count  int64
 	sorted []time.Duration // the same window, kept sorted
 	p2s    [len(streamQuantiles)]p2
+
+	// total counts every Record ever made (staged included) — warmup
+	// thresholds read it without touching any lock. It doubles as the
+	// sequence source for the staging merge order.
+	total atomic.Int64
+	// shards are the staging rings.
+	shards []digestShard
+
+	// dirty marks the sorted view stale relative to the ring: folds only
+	// rotate the ring, and the next windowed read re-sorts (see
+	// ensureSortedLocked).
+	dirty bool
 
 	// live is the adoption latch (see Adopt); flips counts its toggles.
 	live  bool
@@ -69,9 +115,17 @@ func NewDigest(window int) *Digest {
 	if window <= 0 {
 		window = DefaultWindow
 	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards > maxStageShards {
+		shards = maxStageShards
+	}
+	if shards < 1 {
+		shards = 1
+	}
 	d := &Digest{
 		ring:   make([]time.Duration, 0, window),
 		sorted: make([]time.Duration, 0, window),
+		shards: make([]digestShard, shards),
 	}
 	for i, q := range streamQuantiles {
 		d.p2s[i].init(q)
@@ -79,50 +133,137 @@ func NewDigest(window int) *Digest {
 	return d
 }
 
-// Record folds one observation into the window and the streaming
-// estimators. Negative durations (a clock anomaly upstream) clamp to zero
-// so no quantile can ever go negative.
+// Record stages one observation: an atomic sequence fetch plus an
+// uncontended shard append — no allocation, no shared lock. Negative
+// durations (a clock anomaly upstream) clamp to zero so no quantile can
+// ever go negative. When the caller's shard fills, Record folds the
+// staged backlog forward (amortized: once per stageCap observations).
 func (d *Digest) Record(v time.Duration) {
 	if v < 0 {
 		v = 0
 	}
-	d.mu.Lock()
-	if len(d.ring) < cap(d.ring) {
-		d.ring = append(d.ring, v)
-	} else {
-		d.removeSorted(d.ring[d.next])
-		d.ring[d.next] = v
-		d.next = (d.next + 1) % len(d.ring)
+	seq := uint64(d.total.Add(1))
+	s := &d.shards[ShardIndex(len(d.shards))]
+	for {
+		s.mu.Lock()
+		if s.n < stageCap {
+			s.buf[s.n] = stageEntry{seq: seq, v: v}
+			s.n++
+			full := s.n == stageCap
+			s.mu.Unlock()
+			if full {
+				d.mu.Lock()
+				d.foldStagedLocked()
+				d.mu.Unlock()
+			}
+			return
+		}
+		// The shard filled and its folder hasn't drained it yet (the fold
+		// happens outside the shard lock). Fold it forward ourselves and
+		// retry — the fold empties every shard, so this makes progress.
+		s.mu.Unlock()
+		d.mu.Lock()
+		d.foldStagedLocked()
+		d.mu.Unlock()
 	}
-	d.insertSorted(v)
-	d.count++
-	for i := range d.p2s {
-		d.p2s[i].observe(float64(v))
-	}
-	d.mu.Unlock()
 }
 
-// insertSorted places v into the sorted window view. Callers hold d.mu.
-func (d *Digest) insertSorted(v time.Duration) {
-	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] > v })
-	d.sorted = append(d.sorted, 0)
-	copy(d.sorted[i+1:], d.sorted[i:])
-	d.sorted[i] = v
+// RecordBatch stages a run of observations exactly as consecutive Record
+// calls would — same values, same order, same sequence numbers — but pays
+// the sequence fetch, shard selection, and shard lock once per run instead
+// of once per value. The serving engine records one dispatched batch's
+// queue delays through this. Folds fire on the same shard-full edges as
+// the one-at-a-time path.
+func (d *Digest) RecordBatch(vs []time.Duration) {
+	if len(vs) == 0 {
+		return
+	}
+	seq := uint64(d.total.Add(int64(len(vs)))) - uint64(len(vs)) + 1
+	s := &d.shards[ShardIndex(len(d.shards))]
+	i := 0
+	for i < len(vs) {
+		s.mu.Lock()
+		for i < len(vs) && s.n < stageCap {
+			v := vs[i]
+			if v < 0 {
+				v = 0
+			}
+			s.buf[s.n] = stageEntry{seq: seq, v: v}
+			s.n++
+			seq++
+			i++
+		}
+		full := s.n == stageCap
+		s.mu.Unlock()
+		if full {
+			d.mu.Lock()
+			d.foldStagedLocked()
+			d.mu.Unlock()
+		}
+	}
 }
 
-// removeSorted drops one instance of v from the sorted window view (the
-// ring guarantees it is present). Callers hold d.mu.
-func (d *Digest) removeSorted(v time.Duration) {
-	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] >= v })
-	d.sorted = append(d.sorted[:i], d.sorted[i+1:]...)
+// foldStagedLocked drains every staging shard and folds the entries into
+// the merged window and P² state in sequence order. Callers hold d.mu.
+func (d *Digest) foldStagedLocked() {
+	var tmp [maxStageShards * stageCap]stageEntry
+	n := 0
+	for i := range d.shards {
+		s := &d.shards[i]
+		s.mu.Lock()
+		n += copy(tmp[n:], s.buf[:s.n])
+		s.n = 0
+		s.mu.Unlock()
+	}
+	staged := tmp[:n]
+	// Insertion sort by sequence: single-writer streams arrive already
+	// ordered (one pass), and the concurrent case is at most a few
+	// stage-rings' worth of nearly sorted entries.
+	for i := 1; i < len(staged); i++ {
+		for j := i; j > 0 && staged[j].seq < staged[j-1].seq; j-- {
+			staged[j], staged[j-1] = staged[j-1], staged[j]
+		}
+	}
+	// The fold pays only what must happen in stream order: the ring
+	// rotation and the P² marker updates, both O(1) per entry. The sorted
+	// window view goes stale instead of being repaired per entry — the
+	// next windowed read rebuilds it from the ring in one sort
+	// (ensureSortedLocked). Same multiset either way, so quantiles are
+	// bit-identical; the write path just stops paying O(window) sorted
+	// maintenance for reads nobody has asked for yet.
+	for _, e := range staged {
+		if len(d.ring) < cap(d.ring) {
+			d.ring = append(d.ring, e.v)
+		} else {
+			d.ring[d.next] = e.v
+			d.next = (d.next + 1) % len(d.ring)
+		}
+		for i := range d.p2s {
+			d.p2s[i].observe(float64(e.v))
+		}
+	}
+	if len(staged) > 0 {
+		d.dirty = true
+	}
+}
+
+// ensureSortedLocked rebuilds the sorted window view from the ring if
+// folds have outdated it. Callers hold d.mu and have already folded the
+// staging shards forward.
+func (d *Digest) ensureSortedLocked() {
+	if !d.dirty {
+		return
+	}
+	d.sorted = append(d.sorted[:0], d.ring...)
+	slices.Sort(d.sorted)
+	d.dirty = false
 }
 
 // Count reports the total observations ever recorded (not capped at the
-// window) — the warmup thresholds compare against it.
+// window) — the warmup thresholds compare against it. Lock-free: the hot
+// warmth checks on the submit path never contend with writers.
 func (d *Digest) Count() int64 {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.count
+	return d.total.Load()
 }
 
 // quantileLocked is Quantile under d.mu: the p-quantile of the window by
@@ -130,6 +271,7 @@ func (d *Digest) Count() int64 {
 // the exact sample agree on identical inputs. Out-of-range or NaN p clamps
 // into [0, 1]; an empty digest reports 0.
 func (d *Digest) quantileLocked(p float64) time.Duration {
+	d.ensureSortedLocked()
 	vs := d.sorted
 	if len(vs) == 0 {
 		return 0
@@ -152,11 +294,27 @@ func (d *Digest) quantileLocked(p float64) time.Duration {
 
 // Quantile returns the p-quantile over the sliding window — the reactive
 // estimate adaptive scheduling prices with. Never negative, never NaN; 0
-// only when nothing was recorded.
+// only when nothing was recorded. The read folds any staged observations
+// forward first (readers pay the merge, writers don't).
 func (d *Digest) Quantile(p float64) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.foldStagedLocked()
 	return d.quantileLocked(p)
+}
+
+// QuantilesInto fills out[i] with the ps[i]-quantile over the sliding
+// window under a single staged-merge fold — value-identical to calling
+// Quantile once per p, minus the repeated lock/fold round-trips. The
+// per-batch gauge refresh on the serving hot path reads through this.
+// out and ps must have equal length.
+func (d *Digest) QuantilesInto(ps []float64, out []time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.foldStagedLocked()
+	for i, p := range ps {
+		out[i] = d.quantileLocked(p)
+	}
 }
 
 // StreamQuantile returns the constant-memory P² estimate over the whole
@@ -171,13 +329,37 @@ func (d *Digest) StreamQuantile(p float64) time.Duration {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	v := d.p2s[best].quantile()
+	d.foldStagedLocked()
+	return clampP2(d.p2s[best].quantile())
+}
+
+// StreamQuantilesInto fills out[i] with the P² estimate for the
+// maintained target nearest ps[i], all under a single staged-merge fold —
+// value-identical to calling StreamQuantile once per p. out and ps must
+// have equal length.
+func (d *Digest) StreamQuantilesInto(ps []float64, out []time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.foldStagedLocked()
+	for i, p := range ps {
+		best := 0
+		for j, q := range streamQuantiles {
+			if math.Abs(q-p) < math.Abs(streamQuantiles[best]-p) {
+				best = j
+			}
+		}
+		out[i] = clampP2(d.p2s[best].quantile())
+	}
+}
+
+// clampP2 converts a raw P² estimate to a duration: never negative, never
+// NaN, and saturating at the maximum duration (float64(MaxInt64) rounds up
+// past MaxInt64; an unguarded conversion would wrap negative).
+func clampP2(v float64) time.Duration {
 	if v < 0 || math.IsNaN(v) {
 		v = 0
 	}
 	if v >= float64(math.MaxInt64) {
-		// float64(MaxInt64) rounds up past MaxInt64; an unguarded
-		// conversion would wrap negative.
 		return time.Duration(math.MaxInt64)
 	}
 	return time.Duration(v)
@@ -223,8 +405,9 @@ func adoptStep(latched bool, live, static time.Duration) (est time.Duration, ado
 func (d *Digest) Adopt(static time.Duration, q float64, warmup int64) (time.Duration, bool) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.foldStagedLocked()
 	live := d.quantileLocked(q)
-	if d.count < warmup || live <= 0 {
+	if d.total.Load() < warmup || live <= 0 {
 		return static, false
 	}
 	est, adopted, flipped := adoptStep(d.live, live, static)
@@ -297,7 +480,8 @@ func (d *Digest) Flips() int64 {
 func (d *Digest) Blend(static time.Duration, warmup int64) time.Duration {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	n := d.count
+	d.foldStagedLocked()
+	n := d.total.Load()
 	if w := int64(cap(d.ring)); n > w {
 		n = w
 	}
@@ -464,6 +648,23 @@ func (o *Observatory) Record(bench, platform string, v time.Duration) *Digest {
 	d, _ := o.m.LoadOrStore(k, NewDigest(o.window))
 	dg := d.(*Digest)
 	dg.Record(v)
+	return dg
+}
+
+// RecordBatch folds a run of observations into the keyed digest (created
+// on first use) under one key lookup and one staging pass — see
+// Digest.RecordBatch. A nil digest comes back only for an empty run.
+func (o *Observatory) RecordBatch(bench, platform string, vs []time.Duration) *Digest {
+	if len(vs) == 0 {
+		return o.Digest(bench, platform)
+	}
+	k := obsKey{bench, platform}
+	d, ok := o.m.Load(k)
+	if !ok {
+		d, _ = o.m.LoadOrStore(k, NewDigest(o.window))
+	}
+	dg := d.(*Digest)
+	dg.RecordBatch(vs)
 	return dg
 }
 

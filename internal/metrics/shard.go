@@ -1,0 +1,35 @@
+// shard.go picks a staging shard for the calling goroutine without
+// runtime internals: a sync.Pool of small shard-id tokens. Pool Get/Put
+// hits the per-P private slot on the fast path, so goroutines running on
+// the same P keep reusing the same token — per-P shard affinity with zero
+// allocation at steady state — while a cold or stolen slot just mints the
+// next id round-robin. Correctness never depends on the affinity: any
+// shard works, affinity only keeps the shard locks uncontended.
+
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	shardSeq    atomic.Uint64
+	shardTokens = sync.Pool{New: func() any {
+		id := int(shardSeq.Add(1) - 1)
+		return &id
+	}}
+)
+
+// ShardIndex returns a shard index in [0, n) biased to the calling P. The
+// digest staging rings and the serve engine's submit ingress share it so
+// both layers get the same affinity behavior from one mechanism.
+func ShardIndex(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	tok := shardTokens.Get().(*int)
+	id := *tok
+	shardTokens.Put(tok)
+	return id % n
+}

@@ -65,7 +65,7 @@ func runQueueOps(data []byte) error {
 			return fmt.Errorf("%s: dropped count went backwards (%d -> %d)", op, lastDropped, q.Dropped())
 		}
 		lastDropped = q.Dropped()
-		for i, tk := range q.tasks {
+		for i, tk := range q.live() {
 			model, ok := present[tk.ID]
 			if !ok {
 				return fmt.Errorf("%s: queue holds unknown task %d", op, tk.ID)
@@ -76,7 +76,7 @@ func runQueueOps(data []byte) error {
 			if i == 0 {
 				continue
 			}
-			prev := q.tasks[i-1]
+			prev := q.live()[i-1]
 			if prev.Arrived > tk.Arrived || (prev.Arrived == tk.Arrived && prev.ID > tk.ID) {
 				return fmt.Errorf("%s: arrival order broken at %d: (%v,%d) before (%v,%d)",
 					op, i, prev.Arrived, prev.ID, tk.Arrived, tk.ID)

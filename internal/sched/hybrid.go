@@ -47,6 +47,13 @@ type HybridTask struct {
 	CPUService, DSCSService time.Duration
 	// AccelFuncs counts acceleratable functions in the application's DAG.
 	AccelFuncs int
+
+	// Ref is an opaque caller attachment that rides the task through
+	// queues, steals, and coalescing. The serving engine hangs its
+	// per-request record here so dispatch resolves the request with a
+	// field read instead of a side-table lookup; queues and policies
+	// ignore it, and the simulations leave it nil.
+	Ref any
 }
 
 // Service is the expected service time on the given instance class.
@@ -84,16 +91,24 @@ func agedHead(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTas
 	if q.Len() == 0 {
 		return HybridTask{}, false
 	}
-	head := q.tasks[0]
+	head := q.live()[0]
 	if now-head.Arrived > AgingMultiple*head.Service(class) {
 		return q.removeAt(0), true
 	}
 	return HybridTask{}, false
 }
 
-// HybridQueue is the bounded shared queue.
+// HybridQueue is the bounded shared queue. The live window is
+// tasks[head:]: a head dequeue — the FCFS fast path every dispatch takes —
+// advances the index instead of sliding the whole backlog down, and the
+// backlog compacts once the dead prefix reaches the queue bound. That
+// keeps head removal amortized O(1) where the previous slide was O(n) per
+// dispatch — at depth 4096 the slide was the single largest cost on the
+// serve hot path, dwarfing the scheduler itself — while the backing array
+// stays bounded at twice the queue depth.
 type HybridQueue struct {
-	tasks   []HybridTask
+	tasks   []HybridTask // live window is tasks[head:]
+	head    int
 	depth   int
 	dropped int
 }
@@ -106,9 +121,13 @@ func NewHybridQueue(depth int) (*HybridQueue, error) {
 	return &HybridQueue{depth: depth}, nil
 }
 
+// live is the queued window in arrival order. Index i here is the caller's
+// queue position i (removeAt shares the convention).
+func (q *HybridQueue) live() []HybridTask { return q.tasks[q.head:] }
+
 // Submit enqueues; it reports false (drop) at the bound.
 func (q *HybridQueue) Submit(t HybridTask) bool {
-	if len(q.tasks) >= q.depth {
+	if q.Len() >= q.depth {
 		q.dropped++
 		return false
 	}
@@ -117,17 +136,17 @@ func (q *HybridQueue) Submit(t HybridTask) bool {
 }
 
 // Len is the queue occupancy.
-func (q *HybridQueue) Len() int { return len(q.tasks) }
+func (q *HybridQueue) Len() int { return len(q.tasks) - q.head }
 
 // Full reports whether the next Submit would drop.
-func (q *HybridQueue) Full() bool { return len(q.tasks) >= q.depth }
+func (q *HybridQueue) Full() bool { return q.Len() >= q.depth }
 
 // Room is the number of Submits the bound still admits.
 func (q *HybridQueue) Room() int {
-	if len(q.tasks) >= q.depth {
-		return 0
+	if n := q.Len(); n < q.depth {
+		return q.depth - n
 	}
-	return q.depth - len(q.tasks)
+	return 0
 }
 
 // Dropped counts rejected tasks.
@@ -137,36 +156,88 @@ func (q *HybridQueue) Dropped() int { return q.dropped }
 // preserves arrival order, so the head is what the starvation aging bound
 // (AgingMultiple) is measured against.
 func (q *HybridQueue) Head() (HybridTask, bool) {
-	if len(q.tasks) == 0 {
+	if q.Len() == 0 {
 		return HybridTask{}, false
 	}
-	return q.tasks[0], true
+	return q.live()[0], true
 }
 
-// removeAt extracts index i preserving arrival order of the rest.
+// compact reclaims the dead prefix once it reaches the queue bound (or the
+// queue empties). Amortized O(1): a compaction of depth elements is paid
+// for by the depth head-dequeues that preceded it.
+func (q *HybridQueue) compact() {
+	if q.head == len(q.tasks) {
+		q.tasks = q.tasks[:0]
+		q.head = 0
+	} else if q.head >= q.depth {
+		n := copy(q.tasks, q.tasks[q.head:])
+		q.tasks = q.tasks[:n]
+		q.head = 0
+	}
+}
+
+// removeAt extracts queue position i (0 = head) preserving arrival order
+// of the rest. Head removal advances the window; interior removal (the
+// estimate-ordered policies' picks) slides only the tasks behind i.
 func (q *HybridQueue) removeAt(i int) HybridTask {
-	t := q.tasks[i]
-	q.tasks = append(q.tasks[:i], q.tasks[i+1:]...)
+	if i == 0 {
+		t := q.tasks[q.head]
+		q.tasks[q.head] = HybridTask{} // release the payload for the GC
+		q.head++
+		q.compact()
+		return t
+	}
+	at := q.head + i
+	t := q.tasks[at]
+	q.tasks = append(q.tasks[:at], q.tasks[at+1:]...)
 	return t
 }
 
 // TakeWhere removes and returns up to max queued tasks matching the
 // predicate, preserving arrival order. The serving engine uses it to
-// coalesce same-benchmark invocations into one batched execution.
+// coalesce same-benchmark invocations into one batched execution. Once max
+// matches are taken the remainder is kept wholesale — one memmove instead
+// of a per-task scan.
 func (q *HybridQueue) TakeWhere(max int, match func(HybridTask) bool) []HybridTask {
+	return q.TakeWhereInto(nil, max, match)
+}
+
+// TakeWhereInto is TakeWhere appending into dst — the batching hot path
+// hands a reused scratch buffer here so coalescing never allocates.
+func (q *HybridQueue) TakeWhereInto(dst []HybridTask, max int, match func(HybridTask) bool) []HybridTask {
 	if max <= 0 {
-		return nil
+		return dst
 	}
-	var taken []HybridTask
-	kept := q.tasks[:0]
-	for _, t := range q.tasks {
-		if len(taken) < max && match(t) {
-			taken = append(taken, t)
-			continue
+	taken := dst
+	base := len(dst)
+	liveView := q.live()
+	kept := liveView[:0]
+	i := 0
+	for ; i < len(liveView); i++ {
+		if len(taken)-base == max {
+			break
 		}
-		kept = append(kept, t)
+		if match(liveView[i]) {
+			taken = append(taken, liveView[i])
+		} else {
+			kept = append(kept, liveView[i])
+		}
 	}
-	q.tasks = kept
+	if len(kept) == 0 {
+		// Everything scanned was taken — a contiguous head prefix, the
+		// shape every same-benchmark burst produces. Advance the window
+		// instead of sliding the untouched remainder down: at depth 4096
+		// that slide (with per-element write barriers) was half the serve
+		// pipeline's CPU.
+		clear(q.tasks[q.head : q.head+i])
+		q.head += i
+		q.compact()
+		return taken
+	}
+	if i < len(liveView) {
+		kept = append(kept, liveView[i:]...)
+	}
+	q.tasks = q.tasks[:q.head+len(kept)]
 	return taken
 }
 
@@ -180,9 +251,10 @@ func (q *HybridQueue) TakePrefix(max int, match func(HybridTask) bool) []HybridT
 	if max <= 0 {
 		return nil
 	}
+	liveView := q.live()
 	n := 0
-	for n < max && n < len(q.tasks) {
-		if match != nil && !match(q.tasks[n]) {
+	for n < max && n < len(liveView) {
+		if match != nil && !match(liveView[n]) {
 			break
 		}
 		n++
@@ -190,8 +262,10 @@ func (q *HybridQueue) TakePrefix(max int, match func(HybridTask) bool) []HybridT
 	if n == 0 {
 		return nil
 	}
-	taken := append([]HybridTask(nil), q.tasks[:n]...)
-	q.tasks = append(q.tasks[:0], q.tasks[n:]...)
+	taken := append([]HybridTask(nil), liveView[:n]...)
+	clear(q.tasks[q.head : q.head+n])
+	q.head += n
+	q.compact()
 	return taken
 }
 
@@ -199,17 +273,25 @@ func (q *HybridQueue) TakePrefix(max int, match func(HybridTask) bool) []HybridT
 // decided not to dispatch, or a task arriving via a steal), placing it by
 // (Arrived, ID) so the queue's oldest-first invariant holds. It bypasses
 // the admission bound: the task was already admitted somewhere, and a
-// rebalance must never turn into a drop.
+// rebalance must never turn into a drop. A task older than the whole
+// backlog reoccupies the dead prefix in O(1) when there is one.
 func (q *HybridQueue) Restore(t HybridTask) {
-	i := sort.Search(len(q.tasks), func(i int) bool {
-		if q.tasks[i].Arrived != t.Arrived {
-			return q.tasks[i].Arrived > t.Arrived
+	liveView := q.live()
+	i := sort.Search(len(liveView), func(i int) bool {
+		if liveView[i].Arrived != t.Arrived {
+			return liveView[i].Arrived > t.Arrived
 		}
-		return q.tasks[i].ID > t.ID
+		return liveView[i].ID > t.ID
 	})
+	if i == 0 && q.head > 0 {
+		q.head--
+		q.tasks[q.head] = t
+		return
+	}
+	at := q.head + i
 	q.tasks = append(q.tasks, HybridTask{})
-	copy(q.tasks[i+1:], q.tasks[i:])
-	q.tasks[i] = t
+	copy(q.tasks[at+1:], q.tasks[at:])
+	q.tasks[at] = t
 }
 
 // FCFSPolicy is the deployed policy: head of line, any class.
@@ -242,14 +324,15 @@ func (CriticalityPolicy) Pick(q *HybridQueue, class InstanceClass, now time.Dura
 	if t, ok := agedHead(q, class, now); ok {
 		return t, true
 	}
+	liveView := q.live()
 	best := 0
-	for i := 1; i < q.Len(); i++ {
+	for i := 1; i < len(liveView); i++ {
 		if class == ClassDSCS {
-			if q.tasks[i].CPUService > q.tasks[best].CPUService {
+			if liveView[i].CPUService > liveView[best].CPUService {
 				best = i
 			}
 		} else {
-			if q.tasks[i].CPUService < q.tasks[best].CPUService {
+			if liveView[i].CPUService < liveView[best].CPUService {
 				best = i
 			}
 		}
@@ -273,9 +356,10 @@ func (DAGAwarePolicy) Pick(q *HybridQueue, class InstanceClass, now time.Duratio
 	if t, ok := agedHead(q, class, now); ok {
 		return t, true
 	}
+	liveView := q.live()
 	best := 0
-	for i := 1; i < q.Len(); i++ {
-		ti, tb := q.tasks[i], q.tasks[best]
+	for i := 1; i < len(liveView); i++ {
+		ti, tb := liveView[i], liveView[best]
 		if class == ClassDSCS {
 			if ti.AccelFuncs > tb.AccelFuncs ||
 				(ti.AccelFuncs == tb.AccelFuncs && ti.CPUService > tb.CPUService) {

@@ -43,6 +43,10 @@ type PoolCore struct {
 	former *BatchFormer
 	// stolenIn/stolenOut count tasks moved by the rebalancing pull path.
 	stolenIn, stolenOut int
+	// scratch is the reused extraction buffer behind Coalesce and
+	// DispatchFormed's due-group pull, so the batching hot path never
+	// allocates. Serialized by whatever serializes the core.
+	scratch []sched.HybridTask
 }
 
 // NewPoolCore builds a pool of the given worker count and admission bound.
@@ -136,7 +140,8 @@ func (c *PoolCore) DispatchFormed(now time.Duration) (t sched.HybridTask, ok boo
 		if !due {
 			break
 		}
-		taken := c.queue.TakeWhere(1, func(x sched.HybridTask) bool { return x.Payload == payload })
+		taken := c.queue.TakeWhereInto(c.scratch[:0], 1, func(x sched.HybridTask) bool { return x.Payload == payload })
+		c.scratch = taken
 		if len(taken) == 0 {
 			c.former.Drop(payload) // stale group: no queued member left
 			continue
@@ -186,9 +191,14 @@ func (c *PoolCore) StolenOut() int { return c.stolenOut }
 
 // Coalesce removes up to max additional queued tasks matching the
 // predicate and assigns them to the worker that just dispatched — the
-// request-batching step. It must follow a successful Dispatch.
+// request-batching step. It must follow a successful Dispatch. The
+// returned slice is the core's reused scratch: it stays valid until the
+// next Coalesce or DispatchFormed on this core, so callers consume it
+// before driving the core again (every call site does — they run under
+// the same lock that serializes the core).
 func (c *PoolCore) Coalesce(max int, match func(sched.HybridTask) bool) []sched.HybridTask {
-	taken := c.queue.TakeWhere(max, match)
+	taken := c.queue.TakeWhereInto(c.scratch[:0], max, match)
+	c.scratch = taken
 	c.running += len(taken)
 	return taken
 }

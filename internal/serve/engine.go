@@ -16,6 +16,7 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -121,6 +122,16 @@ type Options struct {
 	// Telemetry receives the engine's metrics; pass the gateway's
 	// registry to surface them on /metrics (default: a fresh registry).
 	Telemetry *sched.Telemetry
+	// IngressShards sizes each pool's sharded submit ingress: submissions
+	// stage on a per-P shard and drain into the pool core in batches, so
+	// submitters contend only on their shard (0 defaults to GOMAXPROCS;
+	// any negative value disables the ingress and admits directly under
+	// the pool lock — the pre-shard path, kept for A/B benchmarking).
+	IngressShards int
+	// Execute overrides how a worker runs one coalesced batch. The bench
+	// harness injects a no-op here to measure the scheduling hot path
+	// without the simulated execution cost. Nil runs Runner.Invoke.
+	Execute func(r *faas.Runner, b *workload.Benchmark, opt faas.Options) (faas.Result, error)
 }
 
 // withDefaults fills unset options.
@@ -189,12 +200,29 @@ type outcome struct {
 	batchSize     int
 }
 
-// request is one pending submission.
+// request is one pending submission. fire marks a fire-and-forget
+// SubmitAsync request: no submitter blocks on done, so the worker recycles
+// the request instead of delivering an outcome.
 type request struct {
 	bench *workload.Benchmark
 	opt   faas.Options
 	enq   time.Time
+	fire  bool
 	done  chan outcome
+}
+
+// requestPool recycles request structs (and their reply channels — cap-1,
+// drained by exactly one receiver) across submissions, so the steady-state
+// submit path allocates nothing per call.
+var requestPool = sync.Pool{New: func() any {
+	return &request{done: make(chan outcome, 1)}
+}}
+
+func getRequest() *request { return requestPool.Get().(*request) }
+
+func putRequest(r *request) {
+	r.bench, r.opt, r.enq, r.fire = nil, faas.Options{}, time.Time{}, false
+	requestPool.Put(r)
 }
 
 // pool is one platform's worker pool: the shared PoolCore plus the
@@ -204,12 +232,49 @@ type pool struct {
 	runner *faas.Runner
 	class  sched.InstanceClass
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	core    *PoolCore
-	pending map[int]*request
-	closed  bool
+	mu     sync.Mutex
+	cond   *sync.Cond
+	core   *PoolCore
+	closed bool
+
+	// ingress is the sharded staging front of the submit path (nil when
+	// Options.IngressShards is negative); scratch is the drain buffer,
+	// reused under p.mu.
+	ingress *ingress
+	scratch []ingressEntry
+	// parked counts workers blocked in cond.Wait. Submitters that fail the
+	// opportunistic drain read it to decide whether a wakeup fence is
+	// needed: the parked increment and the staged check are both
+	// sequentially consistent atomics, so either the parking worker sees
+	// the staged entry or the submitter sees the parked worker — an entry
+	// can never strand against a sleeping pool.
+	parked atomic.Int32
+
+	// Pre-resolved telemetry handles: completions and queue mutations touch
+	// one atomic store each instead of re-walking the registry map.
+	gDepth    sched.GaugeHandle
+	gBatchOcc sched.GaugeHandle
+	gDelayP50 sched.GaugeHandle
+	gDelayP95 sched.GaugeHandle
+	gDelayP99 sched.GaugeHandle
+	cDropped  sched.CounterHandle
+	cFormed   sched.CounterHandle
+	// delayRefresh is the wall-clock nanos of the last serve_queue_delay_*
+	// gauge refresh — the publish rate limit (gaugeRefreshInterval). The
+	// digests themselves stay exact; only how often their window quantiles
+	// are re-read onto /metrics is bounded.
+	delayRefresh atomic.Int64
 }
+
+// gaugeRefreshInterval bounds how often a dispatch (or completion)
+// re-derives the published quantile gauges from its digest. Every
+// observation still lands in the digest, and every decision path (the
+// balance latch, adaptive pricing) reads the digest directly — folding
+// staged entries on demand — so rate-limiting the gauges changes no
+// scheduling behavior, only the /metrics publish cadence. At sub-ms batch
+// rates the refresh would otherwise sort-maintain the window once per
+// batch just to overwrite the same gauge cells.
+const gaugeRefreshInterval = time.Millisecond
 
 // driveSet serializes DSCS-class executions over the physical DSCS-Drives:
 // the engine's DSCS pool sizes workers, but the rack has a fixed number of
@@ -345,6 +410,40 @@ type Engine struct {
 	nextID    atomic.Int64
 	wg        sync.WaitGroup
 	once      sync.Once
+	// exec runs one coalesced batch (Options.Execute, or Runner.Invoke).
+	exec func(r *faas.Runner, b *workload.Benchmark, opt faas.Options) (faas.Result, error)
+	// inflight counts admitted-but-undelivered requests; Quiesce polls it
+	// so fire-and-forget callers can drain the engine.
+	inflight atomic.Int64
+	// latGauges caches the per-{benchmark, platform} latency gauge handles
+	// resolved by observe (invalidated by ForgetEstimate, which Unsets the
+	// underlying series).
+	latGauges sync.Map // latKey -> *latHandles
+	// Pre-resolved engine-wide handles for the per-completion counters.
+	cSubmitted   sched.CounterHandle
+	cCompleted   sched.CounterHandle
+	cBatches     sched.CounterHandle
+	cBatchedReqs sched.CounterHandle
+	cWaitMS      sched.CounterHandle
+	cDroppedAll  sched.CounterHandle
+	cFormedAll   sched.CounterHandle
+	cStealAll    sched.CounterHandle
+	cSpillAll    sched.CounterHandle
+	cDriveWait   sched.CounterHandle
+	// Per-drive occupancy handles, indexed like drives.ids.
+	driveBusy []sched.GaugeHandle
+	driveAcq  []sched.CounterHandle
+}
+
+// latKey keys the latency-gauge handle cache without allocating a joined
+// string per completion.
+type latKey struct{ slug, platform string }
+
+// latHandles carries one {benchmark, platform} series' three quantile
+// gauges plus its publish-rate-limit stamp (see gaugeRefreshInterval).
+type latHandles struct {
+	p50, p95, p99 sched.GaugeHandle
+	refresh       atomic.Int64
 }
 
 // NewEngine builds one worker pool per runner (the platform.All lineup in
@@ -377,8 +476,19 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := &pool{name: name, runner: r, class: class, core: core, pending: make(map[int]*request)}
+		p := &pool{name: name, runner: r, class: class, core: core}
 		p.cond = sync.NewCond(&p.mu)
+		if shards := ingressShards(opt.IngressShards); shards > 0 {
+			p.ingress = newIngress(shards, opt.QueueDepth)
+		}
+		p.gDepth = e.tel.GaugeHandle("serve_queue_depth{platform=" + name + "}")
+		p.gBatchOcc = e.tel.GaugeHandle("serve_batch_occupancy{platform=" + name + "}")
+		delay := "{platform=" + name + ",class=" + class.String() + "}"
+		p.gDelayP50 = e.tel.GaugeHandle("serve_queue_delay_p50" + delay)
+		p.gDelayP95 = e.tel.GaugeHandle("serve_queue_delay_p95" + delay)
+		p.gDelayP99 = e.tel.GaugeHandle("serve_queue_delay_p99" + delay)
+		p.cDropped = e.tel.CounterHandle("serve_dropped_total{platform=" + name + "}")
+		p.cFormed = e.tel.CounterHandle("serve_batch_formed_total{platform=" + name + "}")
 		e.pools[name] = p
 		if class == sched.ClassDSCS && r.Store != nil {
 			dscsStores = append(dscsStores, r.Store)
@@ -447,7 +557,25 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	}
 	e.drives = newDriveSet(dscsStores)
 	for _, id := range e.drives.ids {
+		e.driveBusy = append(e.driveBusy, e.tel.GaugeHandle("serve_drive_busy{drive="+id+"}"))
+		e.driveAcq = append(e.driveAcq, e.tel.CounterHandle("serve_drive_acquired_total{drive="+id+"}"))
 		e.tel.Set("serve_drive_busy{drive="+id+"}", 0)
+	}
+	e.cSubmitted = e.tel.CounterHandle("serve_submitted_total")
+	e.cCompleted = e.tel.CounterHandle("serve_completed_total")
+	e.cBatches = e.tel.CounterHandle("serve_batches_total")
+	e.cBatchedReqs = e.tel.CounterHandle("serve_batched_requests_total")
+	e.cWaitMS = e.tel.CounterHandle("serve_wait_ms_total")
+	e.cDroppedAll = e.tel.CounterHandle("serve_dropped_total")
+	e.cFormedAll = e.tel.CounterHandle("serve_batch_formed_total")
+	e.cStealAll = e.tel.CounterHandle("serve_steal_total")
+	e.cSpillAll = e.tel.CounterHandle("serve_spillover_total")
+	e.cDriveWait = e.tel.CounterHandle("serve_drive_contention_total")
+	e.exec = opt.Execute
+	if e.exec == nil {
+		e.exec = func(r *faas.Runner, b *workload.Benchmark, o faas.Options) (faas.Result, error) {
+			return r.Invoke(b, o)
+		}
 	}
 	for _, p := range e.pools {
 		for i := 0; i < opt.Workers; i++ {
@@ -456,6 +584,18 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		}
 	}
 	return e, nil
+}
+
+// ingressShards resolves the Options.IngressShards spelling: 0 defaults to
+// GOMAXPROCS, negative disables the sharded ingress.
+func ingressShards(n int) int {
+	if n < 0 {
+		return 0
+	}
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
 }
 
 // classFor maps a platform to its scheduling class: the in-storage DSA pool
@@ -491,6 +631,8 @@ func (e *Engine) Has(platformName string) bool {
 }
 
 // QueueLen reports one platform's queue occupancy (0 for unknown names).
+// Staged ingress entries drain first, so the reader sees the same depth a
+// single-queue engine would.
 func (e *Engine) QueueLen(platformName string) int {
 	p, ok := e.pools[platformName]
 	if !ok {
@@ -498,24 +640,31 @@ func (e *Engine) QueueLen(platformName string) int {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	e.drainLocked(p)
 	return p.core.QueueLen()
 }
 
-// Dropped totals admission rejections across pools.
+// Dropped totals admission rejections across pools: the cores' own counts
+// plus offers bounced at the ingress bound.
 func (e *Engine) Dropped() int {
 	total := 0
 	for _, p := range e.pools {
 		p.mu.Lock()
 		total += p.core.Dropped()
 		p.mu.Unlock()
+		if p.ingress != nil {
+			total += p.ingress.droppedCount()
+		}
 	}
 	return total
 }
 
-// Conservation checks every pool's bookkeeping invariant.
+// Conservation checks every pool's bookkeeping invariant (staged work
+// drains first — it is not yet the core's to account).
 func (e *Engine) Conservation() error {
 	for _, p := range e.pools {
 		p.mu.Lock()
+		e.drainLocked(p)
 		err := p.core.Conservation()
 		p.mu.Unlock()
 		if err != nil {
@@ -551,9 +700,7 @@ func (e *Engine) spillTarget() *pool {
 	var best *pool
 	bestDepth := 0
 	for _, c := range e.spillCPU {
-		c.mu.Lock()
-		depth := c.core.QueueLen()
-		c.mu.Unlock()
+		depth := e.poolDepth(c)
 		if best == nil || depth < bestDepth {
 			best, bestDepth = c, depth
 		}
@@ -561,45 +708,163 @@ func (e *Engine) spillTarget() *pool {
 	return best
 }
 
-// admit submits the task to one pool's queue and registers its pending
-// request: ErrClosed after shutdown, ErrQueueFull at the admission bound.
+// syncDepth refreshes a pool's queue-depth gauge and, with the sharded
+// ingress, the queued mirror its admission bound reads. Callers hold p.mu;
+// every core mutation routes through here so the two views cannot drift.
+func (e *Engine) syncDepth(p *pool) {
+	n := p.core.QueueLen()
+	if p.ingress != nil {
+		p.ingress.syncQueued(n)
+	}
+	p.gDepth.Set(float64(n))
+}
+
+// poolDepth reads a pool's total backlog — staged plus queued with the
+// sharded ingress (two atomic loads, no lock), or the locked core length on
+// the direct path. The spill and steal scans use it so rebalancing
+// decisions never serialize on the pool mutexes they are routing around.
+func (e *Engine) poolDepth(p *pool) int {
+	if p.ingress != nil {
+		return p.ingress.pending()
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.core.QueueLen()
+}
+
+// deliver resolves one admitted request: hands the outcome to the blocked
+// submitter, or — fire-and-forget — recycles the request directly. The
+// inflight count drops here and only here, so Quiesce sees every admitted
+// request exactly once.
+func (e *Engine) deliver(r *request, out outcome) {
+	fire := r.fire
+	e.inflight.Add(-1)
+	if fire {
+		putRequest(r)
+		return
+	}
+	r.done <- out
+}
+
+// drainLocked moves every staged ingress entry into the pool core, in
+// admission order. Callers hold p.mu. A core that fills mid-drain (stolen-in
+// work can race the staging queue) rejects the overflow late, with the same
+// ErrQueueFull the bound would have given at offer time.
+func (e *Engine) drainLocked(p *pool) {
+	if p.ingress == nil || p.ingress.staged.Load() == 0 {
+		return
+	}
+	entries := p.ingress.drainInto(p.scratch)
+	for i := range entries {
+		en := &entries[i]
+		if !p.core.Submit(en.task) {
+			p.ingress.dropped.Add(1)
+			e.cDroppedAll.Inc(1)
+			p.cDropped.Inc(1)
+			e.deliver(en.req, outcome{err: ErrQueueFull})
+			continue
+		}
+		if f := p.core.Former(); f != nil {
+			f.Observe(en.task, reqBatch(en.req.opt))
+		}
+	}
+	clear(entries)
+	p.scratch = entries[:0]
+	e.syncDepth(p)
+}
+
+// admit submits the task (carrying its request in Ref) to one pool's
+// queue: ErrClosed after shutdown, ErrQueueFull at the admission bound.
 // bounceIfFull marks a spill attempt: a full target then reports
 // ErrQueueFull without counting a drop against its queue — the request is
 // not lost, it falls back to the original pool.
+//
+// With the sharded ingress the task stages on the caller's shard and the
+// pool lock is only tried, never waited on: an uncontended admit drains
+// synchronously (sequential callers observe exactly the direct path's
+// behavior), a contended one leaves the entry for whoever holds the lock —
+// the submit path's whole win is that waiting submitters queue on their
+// shard, not on the pool mutex.
 func (e *Engine) admit(p *pool, task sched.HybridTask, req *request, bounceIfFull bool) error {
+	if p.ingress == nil || bounceIfFull {
+		// Spill attempts take the locked path: the bounce contract needs a
+		// synchronous answer from the real queue (a late ingress reject
+		// would lose the fallback to the original pool), and spills are off
+		// the common path by construction.
+		return e.admitDirect(p, task, req, bounceIfFull)
+	}
+	if err := p.ingress.offer(metrics.ShardIndex(len(p.ingress.shards)),
+		ingressEntry{task: task, req: req}, bounceIfFull); err != nil {
+		return err
+	}
+	// Only reach for the pool lock when a worker is parked and needs the
+	// backlog handed over. Active workers drain the shards at the top of
+	// their loop, so the common case — workers busy, submitters streaming —
+	// is a shard append plus two atomics, no pool-lock traffic at all.
+	// The parked/staged handshake is store-buffer safe: offer bumped
+	// staged before this load, the parking worker bumps parked before
+	// re-checking staged, and Go atomics are sequentially consistent, so
+	// at least one side sees the other.
+	if p.parked.Load() > 0 {
+		if p.mu.TryLock() {
+			e.drainLocked(p)
+			p.mu.Unlock()
+		} else {
+			// The lock holder may already be past its pre-park backlog
+			// check. An empty lock/unlock fences against that window: it
+			// returns only once the parking worker has released the mutex
+			// inside cond.Wait, where the Signal is guaranteed to land.
+			p.mu.Lock()
+			//lint:ignore SA2001 empty critical section is the wakeup fence
+			p.mu.Unlock()
+		}
+		p.cond.Signal()
+	}
+	e.wakePeers(p, p.ingress.pending())
+	return nil
+}
+
+// admitDirect is the pre-shard admit: everything under the pool lock.
+// Earlier-staged ingress entries drain first so admission order holds.
+func (e *Engine) admitDirect(p *pool, task sched.HybridTask, req *request, bounceIfFull bool) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
 		return ErrClosed
 	}
+	e.drainLocked(p)
 	if bounceIfFull && p.core.QueueFull() {
 		return ErrQueueFull
 	}
 	if !p.core.Submit(task) {
-		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+		e.syncDepth(p)
 		return ErrQueueFull
 	}
 	if f := p.core.Former(); f != nil {
 		f.Observe(task, reqBatch(req.opt))
 	}
-	p.pending[task.ID] = req
-	e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+	e.syncDepth(p)
 	p.cond.Signal()
-	// Pull-based rebalancing is driven by the thief, so a worker parked on
-	// its own empty queue must hear the peer backlog deepen. (Signaling a
-	// Cond without its lock is explicitly allowed.) The static threshold
-	// wakes the other class past the depth count; adaptive balance wakes
-	// every peer via the shared latch-precondition gate.
+	e.wakePeers(p, p.core.QueueLen())
+	return nil
+}
+
+// wakePeers is the cross-pool half of the admit-time wakeups. Pull-based
+// rebalancing is driven by the thief, so a worker parked on its own empty
+// queue must hear the peer backlog deepen. (Signaling a Cond without its
+// lock is explicitly allowed.) The static threshold wakes the other class
+// past the depth count; adaptive balance wakes every peer via the shared
+// latch-precondition gate.
+func (e *Engine) wakePeers(p *pool, depth int) {
 	if e.opt.AdaptiveBalance {
-		e.signalPeersForBalance(p, p.core.QueueLen() > 0)
-	} else if e.opt.StealThreshold > 0 && p.core.QueueLen() > e.opt.StealThreshold {
+		e.signalPeersForBalance(p, depth > 0)
+	} else if e.opt.StealThreshold > 0 && depth > e.opt.StealThreshold {
 		for _, d := range e.pools {
 			if d.class != p.class {
 				d.cond.Signal()
 			}
 		}
 	}
-	return nil
 }
 
 // signalPeersForBalance wakes every parked peer worker to re-check the
@@ -636,12 +901,71 @@ func (e *Engine) signalPeersForBalance(p *pool, backlog bool) {
 // target falls back to the original pool, which may still have room — the
 // threshold sits well below the admission bound.
 func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Options) (Invocation, error) {
+	req, target, err := e.enqueue(platformName, b, opt, false)
+	if err != nil {
+		return Invocation{}, err
+	}
+	out := <-req.done
+	putRequest(req)
+	if out.err != nil {
+		return Invocation{}, out.err
+	}
+	served := target
+	if out.platform != "" {
+		// A steal can move the request after admission; report the pool
+		// that actually served it.
+		served = out.platform
+	}
+	return Invocation{
+		Result:        out.res,
+		Platform:      served,
+		Queued:        out.queued,
+		BatchRequests: out.batchRequests,
+		BatchSize:     out.batchSize,
+	}, nil
+}
+
+// SubmitAsync enqueues one invocation fire-and-forget: it returns as soon
+// as admission control accepts (ErrQueueFull / ErrClosed reject
+// synchronously, exactly like Submit) and the execution's outcome is
+// dropped on completion. Quiesce waits for the in-flight count to drain.
+// This is the throughput spelling of the submit path — callers measuring
+// or driving sustained load pay the admission cost only, not a reply
+// channel round-trip per request.
+func (e *Engine) SubmitAsync(platformName string, b *workload.Benchmark, opt faas.Options) error {
+	_, _, err := e.enqueue(platformName, b, opt, true)
+	return err
+}
+
+// InFlight counts admitted requests whose outcome has not yet been
+// delivered.
+func (e *Engine) InFlight() int { return int(e.inflight.Load()) }
+
+// Quiesce blocks until every admitted invocation has been delivered or the
+// timeout elapses, reporting whether the engine drained. Fire-and-forget
+// callers use it as their completion barrier.
+func (e *Engine) Quiesce(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for e.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+	return true
+}
+
+// enqueue is the shared admission path behind Submit and SubmitAsync:
+// spill decision, policy pricing, task construction, admit with spill
+// fallback, submit-side telemetry. It returns the admitted request and the
+// pool that accepted it.
+func (e *Engine) enqueue(platformName string, b *workload.Benchmark, opt faas.Options, fire bool) (*request, string, error) {
 	p, ok := e.pools[platformName]
 	if !ok {
-		return Invocation{}, fmt.Errorf("serve: unknown platform %q", platformName)
+		return nil, "", fmt.Errorf("serve: unknown platform %q", platformName)
 	}
 	if b == nil {
-		return Invocation{}, fmt.Errorf("serve: nil benchmark")
+		return nil, "", fmt.Errorf("serve: nil benchmark")
 	}
 	target, spilled := p, false
 	if p.class == sched.ClassDSCS {
@@ -653,19 +977,13 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 			// empty queue never spills: there is no backlog to route
 			// around, and noise-level warmed waits beside an idle peer
 			// must not reroute work that would dispatch immediately.
-			p.mu.Lock()
-			depth := p.core.QueueLen()
-			p.mu.Unlock()
-			if depth > 0 {
+			if e.poolDepth(p) > 0 {
 				if t := e.adaptiveSpillTarget(); t != nil && t != p && e.waitGapToPool(p, t) {
 					target, spilled = t, true
 				}
 			}
 		case e.opt.SpilloverThreshold > 0:
-			p.mu.Lock()
-			depth := p.core.QueueLen()
-			p.mu.Unlock()
-			if depth >= e.opt.SpilloverThreshold {
+			if e.poolDepth(p) >= e.opt.SpilloverThreshold {
 				if t := e.spillTarget(); t != nil && t != p {
 					target, spilled = t, true
 				}
@@ -680,16 +998,20 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 		cpuSvc = e.observedService(b.Slug, sched.ClassCPU, cpuSvc)
 		dscsSvc = e.observedService(b.Slug, sched.ClassDSCS, dscsSvc)
 	}
+	now := time.Now() // one clock read serves both stamps below
+	req := getRequest()
+	req.bench, req.opt, req.enq, req.fire = b, opt, now, fire
 	task := sched.HybridTask{
 		ID:          int(e.nextID.Add(1)),
-		Arrived:     time.Since(e.start),
+		Arrived:     now.Sub(e.start),
 		Payload:     b.Slug,
 		CPUService:  cpuSvc,
 		DSCSService: dscsSvc,
 		AccelFuncs:  accel,
+		Ref:         req,
 	}
-	req := &request{bench: b, opt: opt, enq: time.Now(), done: make(chan outcome, 1)}
 
+	e.inflight.Add(1)
 	err := e.admit(target, task, req, spilled)
 	if spilled && errors.Is(err, ErrQueueFull) {
 		// The spill target is full; the original DSCS queue may still
@@ -698,35 +1020,20 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 		err = e.admit(target, task, req, false)
 	}
 	if err != nil {
+		e.inflight.Add(-1)
+		putRequest(req)
 		if errors.Is(err, ErrQueueFull) {
-			e.tel.Inc("serve_dropped_total", 1)
-			e.tel.Inc("serve_dropped_total{platform="+target.name+"}", 1)
+			e.cDroppedAll.Inc(1)
+			target.cDropped.Inc(1)
 		}
-		return Invocation{}, err
+		return nil, "", err
 	}
-	platformName = target.name
 	if spilled {
-		e.tel.Inc("serve_spillover_total", 1)
+		e.cSpillAll.Inc(1)
 		e.tel.Inc("serve_spillover_total{from="+p.name+",to="+target.name+"}", 1)
 	}
-	e.tel.Inc("serve_submitted_total", 1)
-
-	out := <-req.done
-	if out.err != nil {
-		return Invocation{}, out.err
-	}
-	if out.platform != "" {
-		// A steal can move the request after admission; report the pool
-		// that actually served it.
-		platformName = out.platform
-	}
-	return Invocation{
-		Result:        out.res,
-		Platform:      platformName,
-		Queued:        out.queued,
-		BatchRequests: out.batchRequests,
-		BatchSize:     out.batchSize,
-	}, nil
+	e.cSubmitted.Inc(1)
+	return req, target.name, nil
 }
 
 // batchState is one execution's gathered requests: the dispatched lead
@@ -738,18 +1045,37 @@ type batchState struct {
 	payload string
 	batch   int // combined model batch
 	budget  int // remaining model-batch budget toward MaxBatch
+	// waits holds the batch's clamped queue delays, computed once at
+	// dispatch (recordWaits) and reused by the delivery loop — the digest
+	// staging and the per-request outcomes read the same values.
+	waits []time.Duration
 }
 
-// newBatch resolves a dispatched task to its request and does the initial
-// coalescing pass over what already queued. Callers hold p.mu.
+// batchPool recycles batchState structs and their request slices across
+// executions; putBatch clears the request pointers so a recycled batch
+// never pins served requests for the GC.
+var batchPool = sync.Pool{New: func() any {
+	return &batchState{reqs: make([]*request, 0, DefaultMaxBatch)}
+}}
+
+func putBatch(bs *batchState) {
+	clear(bs.reqs)
+	bs.reqs = bs.reqs[:0]
+	bs.waits = bs.waits[:0]
+	bs.lead, bs.payload, bs.batch, bs.budget = nil, "", 0, 0
+	batchPool.Put(bs)
+}
+
+// newBatch resolves a dispatched task to its request (carried in the
+// task's Ref — no side-table lookup) and does the initial coalescing pass
+// over what already queued. Callers hold p.mu.
 func (e *Engine) newBatch(p *pool, task sched.HybridTask) *batchState {
-	lead := p.pending[task.ID]
-	delete(p.pending, task.ID)
-	bs := &batchState{
-		lead: lead, reqs: []*request{lead}, payload: task.Payload,
-		batch:  reqBatch(lead.opt),
-		budget: e.opt.MaxBatch - reqBatch(lead.opt),
-	}
+	lead := task.Ref.(*request)
+	bs := batchPool.Get().(*batchState)
+	bs.lead, bs.payload = lead, task.Payload
+	bs.reqs = append(bs.reqs[:0], lead)
+	bs.batch = reqBatch(lead.opt)
+	bs.budget = e.opt.MaxBatch - bs.batch
 	e.gather(p, bs)
 	return bs
 }
@@ -764,8 +1090,11 @@ func (e *Engine) gather(p *pool, bs *batchState) int {
 	}
 	budget := bs.budget
 	taken := p.core.Coalesce(budget, func(t sched.HybridTask) bool {
-		r := p.pending[t.ID]
-		if r == nil || t.Payload != bs.payload || !coalescable(r.opt, bs.lead.opt) {
+		if t.Payload != bs.payload {
+			return false
+		}
+		r := t.Ref.(*request)
+		if !coalescable(r.opt, bs.lead.opt) {
 			return false
 		}
 		if reqBatch(r.opt) > budget {
@@ -775,14 +1104,13 @@ func (e *Engine) gather(p *pool, bs *batchState) int {
 		return true
 	})
 	for _, t := range taken {
-		r := p.pending[t.ID]
-		delete(p.pending, t.ID)
+		r := t.Ref.(*request)
 		bs.reqs = append(bs.reqs, r)
 		bs.batch += reqBatch(r.opt)
 	}
 	bs.budget = budget
 	if len(taken) > 0 {
-		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+		e.syncDepth(p)
 	}
 	return len(taken)
 }
@@ -821,7 +1149,8 @@ func (e *Engine) waitDigestOf(p *pool) *metrics.Digest {
 // the very donor asking). The MultiCore peerWait pricing, on engine pools.
 func (e *Engine) pricedWait(p *pool) time.Duration {
 	p.mu.Lock()
-	idle := p.core.QueueLen() == 0 && p.core.Busy() < p.core.Workers()
+	staged := p.ingress != nil && p.ingress.staged.Load() > 0
+	idle := !staged && p.core.QueueLen() == 0 && p.core.Busy() < p.core.Workers()
 	p.mu.Unlock()
 	if idle {
 		return 0
@@ -897,9 +1226,7 @@ func (e *Engine) stealInto(p *pool) int {
 			if d == p {
 				continue
 			}
-			d.mu.Lock()
-			depth := d.core.QueueLen()
-			d.mu.Unlock()
+			depth := e.poolDepth(d)
 			if depth == 0 || !e.waitGapToPool(d, p) {
 				continue
 			}
@@ -913,9 +1240,7 @@ func (e *Engine) stealInto(p *pool) int {
 			if d == p || d.class == p.class {
 				continue
 			}
-			d.mu.Lock()
-			depth := d.core.QueueLen()
-			d.mu.Unlock()
+			depth := e.poolDepth(d)
 			if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
 				donor, deepest = d, depth
 			}
@@ -932,6 +1257,10 @@ func (e *Engine) stealInto(p *pool) int {
 	first.mu.Lock()
 	second.mu.Lock()
 	moved := 0
+	// The donor's staged backlog is stealable too — it just hasn't crossed
+	// into the core yet. Drain it (under both locks, safely ordered) so the
+	// steal sees the donor's full depth.
+	e.drainLocked(donor)
 	// Re-check under both locks: the backlog may have drained, or the
 	// engine may be closing, since the unlocked scan. (The adaptive latch
 	// itself is not re-checked — it just tripped, and hysteresis means a
@@ -943,14 +1272,13 @@ func (e *Engine) stealInto(p *pool) int {
 	if !p.closed && !donor.closed && donor.core.QueueLen() > floor {
 		tasks := p.core.StealFrom(donor.core, e.opt.MaxBatch)
 		for _, t := range tasks {
-			if r := donor.pending[t.ID]; r != nil {
-				delete(donor.pending, t.ID)
-				p.pending[t.ID] = r
-				if f := donor.core.Former(); f != nil && reqBatch(r.opt) > 1 {
-					// StealFrom shed one unit per task; shed the rest of
-					// this request's model batch from the forming group.
-					f.Shed(t.Payload, reqBatch(r.opt)-1)
-				}
+			// The request rides the task's Ref across the move; only the
+			// donor's forming group needs fixing up.
+			r := t.Ref.(*request)
+			if f := donor.core.Former(); f != nil && reqBatch(r.opt) > 1 {
+				// StealFrom shed one unit per task; shed the rest of
+				// this request's model batch from the forming group.
+				f.Shed(t.Payload, reqBatch(r.opt)-1)
 			}
 		}
 		moved = len(tasks)
@@ -958,12 +1286,12 @@ func (e *Engine) stealInto(p *pool) int {
 			// Sibling workers of the thief pool may be parked; the stolen
 			// backlog is work for them too.
 			p.cond.Broadcast()
-			e.tel.Inc("serve_steal_total", float64(moved))
+			e.cStealAll.Inc(float64(moved))
 			e.tel.Inc("serve_steal_total{from="+donor.name+",to="+p.name+"}", float64(moved))
 			// A steal extracts queued tasks just like Coalesce does: both
-			// pools' depth gauges must follow.
-			e.tel.Set("serve_queue_depth{platform="+donor.name+"}", float64(donor.core.QueueLen()))
-			e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+			// pools' depth gauges (and ingress mirrors) must follow.
+			e.syncDepth(donor)
+			e.syncDepth(p)
 		}
 	}
 	donor.mu.Unlock()
@@ -1003,6 +1331,7 @@ func (e *Engine) worker(p *pool) {
 	defer e.wg.Done()
 	p.mu.Lock()
 	for {
+		e.drainLocked(p)
 		now := e.now()
 		task, ok, wait, waitOK, formed := e.dispatch(p, now)
 		if !ok {
@@ -1032,7 +1361,18 @@ func (e *Engine) worker(p *pool) {
 					continue
 				}
 			}
+			// Park. The parked count is incremented before the staged
+			// re-check: a submitter that just staged an entry either sees
+			// parked > 0 (and fences a Signal through the mutex) or this
+			// load sees its entry — the Dekker pairing that makes the
+			// lock-free offer path wakeup-safe.
+			p.parked.Add(1)
+			if p.ingress != nil && p.ingress.staged.Load() > 0 {
+				p.parked.Add(-1)
+				continue
+			}
 			p.cond.Wait()
+			p.parked.Add(-1)
 			continue
 		}
 		bs := e.newBatch(p, task)
@@ -1054,14 +1394,15 @@ func (e *Engine) worker(p *pool) {
 				p.mu.Unlock()
 				time.Sleep(lingerSlice(e.opt.BatchLinger))
 				p.mu.Lock()
+				e.drainLocked(p)
 				e.gather(p, bs)
 				w.Size = bs.batch
 			}
 		}
-		e.tel.Set("serve_queue_depth{platform="+p.name+"}", float64(p.core.QueueLen()))
+		e.syncDepth(p)
 		p.mu.Unlock()
 
-		e.recordWaits(p, bs.reqs, dispatched)
+		e.recordWaits(p, bs, dispatched)
 		if e.opt.AdaptiveBalance {
 			// This dispatch just updated the pool's wait digest — the
 			// signal the balance latch reads. If a backlog remains, parked
@@ -1086,21 +1427,21 @@ func (e *Engine) worker(p *pool) {
 				var waited bool
 				drive, waited = e.drives.acquireDrive(d)
 				if waited {
-					e.tel.Inc("serve_drive_contention_total", 1)
+					e.cDriveWait.Inc(1)
 				}
 				if drive >= 0 {
-					e.tel.Set("serve_drive_busy{drive="+e.drives.ids[drive]+"}", 1)
-					e.tel.Inc("serve_drive_acquired_total{drive="+e.drives.ids[drive]+"}", 1)
+					e.driveBusy[drive].Set(1)
+					e.driveAcq[drive].Inc(1)
 				}
 			}
 		}
 
 		opt := lead.opt
 		opt.Batch = bs.batch
-		res, err := p.runner.Invoke(lead.bench, opt)
+		res, err := e.exec(p.runner, lead.bench, opt)
 
 		if drive >= 0 {
-			e.tel.Set("serve_drive_busy{drive="+e.drives.ids[drive]+"}", 0)
+			e.driveBusy[drive].Set(0)
 			e.drives.release(drive)
 		}
 
@@ -1108,27 +1449,28 @@ func (e *Engine) worker(p *pool) {
 		p.core.Complete(len(bs.reqs))
 		p.mu.Unlock()
 		if err == nil {
-			e.observe(bs.payload, p.name, res.Total())
+			e.observe(bs.payload, p.name, res.Total(), dispatched)
 		}
-		e.tel.Inc("serve_batches_total", 1)
-		e.tel.Inc("serve_batched_requests_total", float64(len(bs.reqs)))
-		e.tel.Set("serve_batch_occupancy{platform="+p.name+"}", float64(bs.batch))
-		e.tel.Inc("serve_completed_total", float64(len(bs.reqs)))
+		e.cBatches.Inc(1)
+		e.cBatchedReqs.Inc(float64(len(bs.reqs)))
+		p.gBatchOcc.Set(float64(bs.batch))
+		e.cCompleted.Inc(float64(len(bs.reqs)))
 		if formed {
-			e.tel.Inc("serve_batch_formed_total", 1)
-			e.tel.Inc("serve_batch_formed_total{platform="+p.name+"}", 1)
+			e.cFormedAll.Inc(1)
+			p.cFormed.Inc(1)
 		}
-		for _, r := range bs.reqs {
-			wait := dispatched.Sub(r.enq)
-			if wait < 0 {
-				// Gathered into the batch during the linger window, after
-				// the dispatch instant: it effectively never queued.
-				wait = 0
-			}
-			e.tel.Inc("serve_wait_ms_total", float64(wait)/float64(time.Millisecond))
-			r.done <- outcome{res: res, err: err, platform: p.name, queued: wait,
-				batchRequests: len(bs.reqs), batchSize: bs.batch}
+		// The waits were computed (and negative linger-window waits
+		// clamped) at dispatch time in recordWaits; charge the counter
+		// once for the whole batch and hand each request its own value.
+		var waitMS float64
+		for i, r := range bs.reqs {
+			wait := bs.waits[i]
+			waitMS += float64(wait) / float64(time.Millisecond)
+			e.deliver(r, outcome{res: res, err: err, platform: p.name, queued: wait,
+				batchRequests: len(bs.reqs), batchSize: bs.batch})
 		}
+		e.cWaitMS.Inc(waitMS)
+		putBatch(bs)
 		p.mu.Lock()
 	}
 }
@@ -1140,23 +1482,28 @@ func (e *Engine) Close() {
 		for _, p := range e.pools {
 			p.mu.Lock()
 			p.closed = true
+			var flushed []ingressEntry
+			if p.ingress != nil {
+				// Closing the shards (under p.mu, which every drain also
+				// holds) leaves no window for a staged entry to strand:
+				// offers racing this section either landed in the flush or
+				// fail with ErrClosed at their shard.
+				flushed = p.ingress.close(p.scratch)
+				p.scratch = flushed[:0:0]
+			}
 			p.cond.Broadcast()
 			p.mu.Unlock()
+			for i := range flushed {
+				e.deliver(flushed[i].req, outcome{err: ErrClosed})
+			}
 		}
 		// Unblock workers waiting for a physical drive; their in-flight
 		// executions finish unarbitrated.
 		e.drives.close()
 		e.wg.Wait()
-		// Workers exit only with empty queues, so nothing pends here
-		// unless a submit raced the close; fail those explicitly.
-		for _, p := range e.pools {
-			p.mu.Lock()
-			for id, r := range p.pending {
-				delete(p.pending, id)
-				r.done <- outcome{err: ErrClosed}
-			}
-			p.mu.Unlock()
-		}
+		// Workers exit only with empty queues, and every queued task carries
+		// its request in Ref — once the queues are drained, no request can
+		// be left behind, so there is no side table to sweep.
 	})
 }
 
@@ -1221,6 +1568,10 @@ func (e *Engine) ForgetEstimate(slug string) {
 	e.estimates.Delete(slug)
 	e.obs.Forget(slug)
 	for name := range e.pools {
+		// Drop the cached handles first: a completion racing this sees
+		// either the old series (about to be unset) or re-resolves fresh
+		// cells — never a handle writing to an unset series forever.
+		e.latGauges.Delete(latKey{slug: slug, platform: name})
 		labels := "{benchmark=" + slug + ",platform=" + name + "}"
 		e.tel.Unset("serve_latency_p50" + labels)
 		e.tel.Unset("serve_latency_p95" + labels)
@@ -1232,14 +1583,33 @@ func (e *Engine) ForgetEstimate(slug string) {
 func (e *Engine) Observatory() *metrics.Observatory { return e.obs }
 
 // observe folds one execution's service time into the latency observatory
-// and refreshes the per-{benchmark, platform} quantile gauges. The gauges
-// read the O(1) P² stream estimates, so the completion path never sorts.
-func (e *Engine) observe(slug, platformName string, service time.Duration) {
+// and refreshes the per-{benchmark, platform} quantile gauges (rate-
+// limited; the digest itself ingests every observation). The gauges read
+// the O(1) P² stream estimates, so the completion path never sorts.
+func (e *Engine) observe(slug, platformName string, service time.Duration, at time.Time) {
 	dg := e.obs.Record(slug, platformName, service)
-	labels := "{benchmark=" + slug + ",platform=" + platformName + "}"
-	e.tel.SetDuration("serve_latency_p50"+labels, dg.StreamQuantile(0.50))
-	e.tel.SetDuration("serve_latency_p95"+labels, dg.StreamQuantile(0.95))
-	e.tel.SetDuration("serve_latency_p99"+labels, dg.StreamQuantile(0.99))
+	k := latKey{slug: slug, platform: platformName}
+	v, ok := e.latGauges.Load(k)
+	if !ok {
+		labels := "{benchmark=" + slug + ",platform=" + platformName + "}"
+		v, _ = e.latGauges.LoadOrStore(k, &latHandles{
+			p50: e.tel.GaugeHandle("serve_latency_p50" + labels),
+			p95: e.tel.GaugeHandle("serve_latency_p95" + labels),
+			p99: e.tel.GaugeHandle("serve_latency_p99" + labels),
+		})
+	}
+	h := v.(*latHandles)
+	nowNS := at.UnixNano()
+	last := h.refresh.Load()
+	if nowNS-last < int64(gaugeRefreshInterval) || !h.refresh.CompareAndSwap(last, nowNS) {
+		return
+	}
+	ps := [3]float64{0.50, 0.95, 0.99}
+	var qs [3]time.Duration
+	dg.StreamQuantilesInto(ps[:], qs[:])
+	h.p50.SetDuration(qs[0])
+	h.p95.SetDuration(qs[1])
+	h.p99.SetDuration(qs[2])
 }
 
 // recordWaits folds one dispatched batch's queue delays — each request's
@@ -1249,13 +1619,27 @@ func (e *Engine) observe(slug, platformName string, service time.Duration) {
 // while its enqueue instant survives the move — so a hot pool's digest
 // reflects what its own backlog cost, not what it exported. (A request
 // gathered during the linger window can postdate the dispatch instant;
-// Digest.Record clamps the negative wait to zero.)
-func (e *Engine) recordWaits(p *pool, reqs []*request, dispatched time.Time) {
-	var dg *metrics.Digest
-	for _, r := range reqs {
-		dg = e.waitObs.Record(p.name, p.class.String(), dispatched.Sub(r.enq))
+// the negative wait clamps to zero here, and the delivery loop hands the
+// same clamped values to the per-request outcomes.)
+func (e *Engine) recordWaits(p *pool, bs *batchState, dispatched time.Time) {
+	bs.waits = bs.waits[:0]
+	for _, r := range bs.reqs {
+		w := dispatched.Sub(r.enq)
+		if w < 0 {
+			w = 0
+		}
+		bs.waits = append(bs.waits, w)
 	}
+	dg := e.waitObs.RecordBatch(p.name, p.class.String(), bs.waits)
 	if dg == nil {
+		return
+	}
+	// Publish rate limit: the first dispatch refreshes immediately (the
+	// stamp starts at zero), later ones at most once per interval. The CAS
+	// keeps concurrent workers from folding the window twice for one slot.
+	nowNS := dispatched.UnixNano()
+	last := p.delayRefresh.Load()
+	if nowNS-last < int64(gaugeRefreshInterval) || !p.delayRefresh.CompareAndSwap(last, nowNS) {
 		return
 	}
 	// Unlike the cumulative serve_latency_* gauges, these publish the
@@ -1263,11 +1647,14 @@ func (e *Engine) recordWaits(p *pool, reqs []*request, dispatched time.Time) {
 	// so an operator alerting on serve_queue_delay_p95 watches the same
 	// signal that trips rebalancing, and the gauge falls back once a
 	// congested window drains instead of staying inflated by history.
-	// Windowed reads are O(1) off the sorted ring.
-	labels := "{platform=" + p.name + ",class=" + p.class.String() + "}"
-	e.tel.SetDuration("serve_queue_delay_p50"+labels, dg.Quantile(0.50))
-	e.tel.SetDuration("serve_queue_delay_p95"+labels, dg.Quantile(WaitQuantile))
-	e.tel.SetDuration("serve_queue_delay_p99"+labels, dg.Quantile(0.99))
+	// Windowed reads are O(1) off the sorted ring, all three under one
+	// staged-merge fold.
+	ps := [3]float64{0.50, WaitQuantile, 0.99}
+	var qs [3]time.Duration
+	dg.QuantilesInto(ps[:], qs[:])
+	p.gDelayP50.SetDuration(qs[0])
+	p.gDelayP95.SetDuration(qs[1])
+	p.gDelayP99.SetDuration(qs[2])
 }
 
 // WaitObservatory exposes the engine's queue-delay digests (diagnostics,

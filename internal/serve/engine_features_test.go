@@ -161,11 +161,12 @@ func TestEngineSpilloverFallsBackWhenTargetFull(t *testing.T) {
 		cpu.mu.Lock()
 		for cpu.core.QueueLen() < 2 {
 			id := int(eng.nextID.Add(1))
-			if !cpu.core.Submit(sched.HybridTask{ID: id, Arrived: eng.now(), Payload: bench.Slug}) {
+			req := &request{bench: bench, opt: faas.Options{Quantile: 0.5},
+				enq: time.Now(), done: make(chan outcome, 1)}
+			if !cpu.core.Submit(sched.HybridTask{ID: id, Arrived: eng.now(),
+				Payload: bench.Slug, Ref: req}) {
 				break
 			}
-			cpu.pending[id] = &request{bench: bench, opt: faas.Options{Quantile: 0.5},
-				enq: time.Now(), done: make(chan outcome, 1)}
 		}
 		cpu.mu.Unlock()
 		time.Sleep(20 * time.Millisecond)

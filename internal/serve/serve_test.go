@@ -152,16 +152,15 @@ func TestCollectBatchCoalesces(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A detached pool the engine's workers never see.
-	p := &pool{name: "test", runner: runners["DSCS-Serverless"],
-		core: core, pending: make(map[int]*request)}
+	p := &pool{name: "test", runner: runners["DSCS-Serverless"], core: core}
 
 	chatbot := workload.BySlug("chatbot")
 	moderation := workload.BySlug("moderation")
 	enqueue := func(id int, b *workload.Benchmark, opt faas.Options) {
-		if !core.Submit(sched.HybridTask{ID: id, Payload: b.Slug}) {
+		req := &request{bench: b, opt: opt, done: make(chan outcome, 1)}
+		if !core.Submit(sched.HybridTask{ID: id, Payload: b.Slug, Ref: req}) {
 			t.Fatalf("task %d rejected", id)
 		}
-		p.pending[id] = &request{bench: b, opt: opt, done: make(chan outcome, 1)}
 	}
 	warm := faas.Options{Quantile: 0.5}
 	enqueue(1, chatbot, warm)                                    // lead
