@@ -65,6 +65,11 @@ func main() {
 		adaptive    = flag.Bool("adaptive-estimates", false, "price batching and policy decisions with live latency digests once warmed (static estimates stay the cold-start prior)")
 		balance     = flag.Bool("adaptive-balance", false, "rebalance on queue delay instead of queue depth: spill and steal once a pool's adopted wait-p95 diverges above a peer's (replaces -spillover-threshold/-steal-threshold)")
 		warmup      = flag.Int("estimate-warmup", metrics.DefaultWarmup, "per-{benchmark,platform} completions before live estimates replace the static prior")
+		minWorkers  = flag.Int("min-workers", 0, "elastic warm floor per platform; 0 allows scale-to-zero (needs -max-workers)")
+		maxWorkers  = flag.Int("max-workers", 0, "elastic warm ceiling per platform; arms the worker lifecycle and replaces -workers (0 keeps fixed pools)")
+		coldStart   = flag.Duration("cold-start", 0, "provisioning penalty a cold slot pays before serving (needs -max-workers)")
+		idleLinger  = flag.Duration("idle-linger", 0, "idle grace before a surplus warm slot suspends (needs -max-workers)")
+		prewarm     = flag.Bool("prewarm", false, "predictive autoscaling: pre-warm to the arrival-rate demand floor and surge on wait-p95 (needs -max-workers; default reactive)")
 	)
 	flag.Parse()
 
@@ -86,6 +91,11 @@ func main() {
 			AdaptiveEstimates:  *adaptive,
 			AdaptiveBalance:    *balance,
 			EstimateWarmup:     *warmup,
+			MinWorkers:         *minWorkers,
+			MaxWorkers:         *maxWorkers,
+			ColdStart:          *coldStart,
+			IdleLinger:         *idleLinger,
+			Prewarm:            *prewarm,
 		})
 	if err != nil {
 		fail(err)
@@ -104,8 +114,17 @@ func main() {
 		return
 	}
 
-	fmt.Printf("DSCS-Serverless gateway listening on %s (%d workers/platform, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d, adaptive %v, balance %v)\n",
-		*addr, *workers, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal, *adaptive, *balance)
+	capacity := fmt.Sprintf("%d workers/platform", *workers)
+	if *maxWorkers > 0 {
+		mode := "reactive"
+		if *prewarm {
+			mode = "predictive"
+		}
+		capacity = fmt.Sprintf("elastic %d..%d workers/platform (%s, cold-start %v, idle-linger %v)",
+			*minWorkers, *maxWorkers, mode, *coldStart, *idleLinger)
+	}
+	fmt.Printf("DSCS-Serverless gateway listening on %s (%s, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d, adaptive %v, balance %v)\n",
+		*addr, capacity, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal, *adaptive, *balance)
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")

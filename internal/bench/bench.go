@@ -369,6 +369,14 @@ func stageDigestRecord(workers int, d time.Duration) (int64, time.Duration, erro
 // pre-shard path — direct admit under the pool lock, one blocking reply
 // channel round-trip per call.
 func stageEngine(workers int, d time.Duration, sharded bool) (int64, time.Duration, error) {
+	return stageEngineOpts(workers, d, sharded, false)
+}
+
+// stageEngineOpts additionally arms the elastic worker lifecycle: every
+// dispatch then crosses the lifecycle accounting and the autoscaler's
+// rate-limited decisions, so the elastic smoke proves elasticity does not
+// poison the submit hot path.
+func stageEngineOpts(workers int, d time.Duration, sharded, elastic bool) (int64, time.Duration, error) {
 	runners, err := Runners()
 	if err != nil {
 		return 0, 0, err
@@ -380,6 +388,11 @@ func stageEngine(workers int, d time.Duration, sharded bool) (int64, time.Durati
 		Execute: func(*faas.Runner, *workload.Benchmark, faas.Options) (faas.Result, error) {
 			return faas.Result{}, nil
 		},
+	}
+	if elastic {
+		opt.Workers = 0
+		opt.MinWorkers, opt.MaxWorkers = 1, 8
+		opt.IdleLinger = 10 * time.Millisecond
 	}
 	if !sharded {
 		opt.IngressShards = -1

@@ -71,3 +71,17 @@ func BenchmarkServeHotPathEngine(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkServeHotPathElastic runs the sharded engine arm with the worker
+// lifecycle armed (1..8 warm slots, reactive autoscaler): CI's
+// `-bench=ServeHotPath -benchtime=1x` smoke proves elastic capacity keeps
+// serving on the same hot path, and real runs price the lifecycle tax.
+func BenchmarkServeHotPathElastic(b *testing.B) {
+	for _, w := range Workers {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
+			benchStage(b, w, func(workers int, d time.Duration) (int64, time.Duration, error) {
+				return stageEngineOpts(workers, d, true, true)
+			})
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dscs/internal/metrics"
+	"dscs/internal/scale"
 	"dscs/internal/sched"
 	"dscs/internal/serve"
 	"dscs/internal/sim"
@@ -66,6 +67,15 @@ type Config struct {
 	// EstimateWarmup and EstimateWindow tune the digests (defaults
 	// metrics.DefaultWarmup / metrics.DefaultWindow).
 	EstimateWarmup, EstimateWindow int
+	// Elastic arms the worker lifecycle: instance capacity floats between
+	// Elastic.Min and Elastic.Max (Instances is ignored), warming pays
+	// Elastic.ColdStart, idle slots suspend after Elastic.IdleLinger, and
+	// Elastic.Mode picks the autoscaler (fixed pools ride the same
+	// machinery with Mode scale.ModeFixed, so their idle-capacity cost is
+	// measured on the same axis). Nil keeps the classic fixed pool
+	// bit-identical. The sim drives the identical serve.Lifecycle the
+	// live engine runs, from the virtual clock.
+	Elastic *scale.Config
 }
 
 // simPlatform keys the simulation's digests: the rack has one simulated
@@ -104,11 +114,25 @@ type Stats struct {
 	// quantiles — wait from arrival to dispatch, the signal the engine
 	// surfaces as serve_queue_delay_* gauges — at the end of the run.
 	WaitP50, WaitP95, WaitP99 time.Duration
+	// ColdStarts counts completed warming transitions and Suspends the
+	// linger expirations that parked a slot (both 0 without Elastic).
+	ColdStarts, Suspends int
+	// IdleCost is the integral of (warm - busy) over the run: warm
+	// worker-time bought but unused — the cost axis the elastic goldens
+	// trade against WithinSLO.
+	IdleCost time.Duration
 }
 
 // Run replays the trace against the pool and returns the series.
 func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
-	if cfg.Instances <= 0 || cfg.QueueDepth <= 0 || cfg.Service == nil {
+	instances := cfg.Instances
+	if cfg.Elastic != nil {
+		if err := cfg.Elastic.Validate(); err != nil {
+			return nil, err
+		}
+		instances = cfg.Elastic.Max
+	}
+	if instances <= 0 || cfg.QueueDepth <= 0 || cfg.Service == nil {
 		return nil, fmt.Errorf("cluster: incomplete config")
 	}
 	if cfg.SampleEvery <= 0 {
@@ -122,13 +146,35 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	// sim record.
 	mc, err := serve.NewMultiCore([]serve.PoolSpec{{
 		Name: simPlatform, Class: sched.ClassCPU,
-		Workers: cfg.Instances, QueueDepth: cfg.QueueDepth, Policy: cfg.Policy,
+		Workers: instances, QueueDepth: cfg.QueueDepth, Policy: cfg.Policy,
 	}})
 	if err != nil {
 		return nil, err
 	}
 	mc.SetWaitTuning(cfg.EstimateWindow, cfg.EstimateWarmup)
 	core := mc.Pool(0)
+	// The elastic rack attaches the identical serve.Lifecycle the live
+	// engine drives with wall-clock timers — here its events are virtual.
+	var asc *scale.Autoscaler
+	if cfg.Elastic != nil {
+		initial := cfg.Elastic.Min
+		if cfg.Elastic.Mode == scale.ModeFixed {
+			initial = cfg.Elastic.Max
+		}
+		lc, err := serve.NewLifecycle(serve.LifecycleConfig{
+			Min: cfg.Elastic.Min, Max: cfg.Elastic.Max,
+			ColdStart: cfg.Elastic.ColdStart, IdleLinger: cfg.Elastic.IdleLinger,
+		}, initial, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := core.AttachLifecycle(lc, 0); err != nil {
+			return nil, err
+		}
+		if asc, err = scale.New(*cfg.Elastic, simPlatform); err != nil {
+			return nil, err
+		}
+	}
 	var obs *metrics.Observatory
 	if cfg.AdaptiveEstimates {
 		obs = metrics.NewObservatory(cfg.EstimateWindow, cfg.EstimateWarmup)
@@ -161,6 +207,9 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		engine.After(service, func() {
 			core.Complete(len(tasks))
 			st.Batches++
+			if asc != nil {
+				asc.ObserveService(tasks[0].Payload, service)
+			}
 			if obs != nil {
 				// The digest learns the true service time at completion —
 				// the same observe-on-complete the live engine does.
@@ -214,7 +263,51 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	// lastWake dedups the former's wake events: scheduled events are never
 	// cancelled, so any instant already armed will fire and re-pump.
 	lastWake := time.Duration(-1)
+
+	// Elastic drive: fold virtual time into the lifecycle (warming slots
+	// come ready, expired lingers suspend), re-decide the autoscaler
+	// target, and arm a wake at the lifecycle's next self-transition —
+	// the virtual-clock analogue of the live engine's lifecycle timer.
+	// Decisions are rate-limited like the engine's (the digest quantile
+	// reads are not per-event work); a starved pool (backlog, no free
+	// capacity) bypasses the limit.
+	warmup := int64(cfg.EstimateWarmup)
+	if warmup <= 0 {
+		warmup = int64(metrics.DefaultWarmup)
+	}
+	const scaleInterval = 100 * time.Millisecond
+	lastLifeWake := time.Duration(-1)
+	lastDecide := time.Duration(-1)
+	advanceScale := func() {
+		if asc == nil {
+			return
+		}
+		now := engine.Now()
+		mc.AdvanceLifecycles(now)
+		starved := core.QueueLen() > 0 && core.Busy() >= core.Workers()
+		if starved || lastDecide < 0 || now-lastDecide >= scaleInterval {
+			lastDecide = now
+			var waitP95 time.Duration
+			if dg := mc.WaitDigest(0); dg != nil && dg.Count() >= warmup {
+				waitP95 = dg.Quantile(serve.WaitQuantile)
+			}
+			desired := asc.Desired(now, core.Busy(), core.QueueLen(), waitP95)
+			if desired != core.Lifecycle().Desired() {
+				core.ScaleTo(desired, now)
+			}
+		}
+		if evt, ok := mc.NextLifecycleEvent(); ok && evt != lastLifeWake {
+			lastLifeWake = evt
+			engine.At(evt, func() {
+				if lastLifeWake == evt {
+					lastLifeWake = -1
+				}
+				pump()
+			})
+		}
+	}
 	pump = func() {
+		advanceScale()
 		for {
 			now := engine.Now()
 			if former != nil {
@@ -272,6 +365,11 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
+			if asc != nil {
+				// The rate digests see offered load — dropped arrivals
+				// still describe the demand the pool should warm for.
+				asc.ObserveArrival(req.Benchmark, engine.Now())
+			}
 			task := sched.HybridTask{ID: req.ID, Arrived: engine.Now(), Payload: req.Benchmark}
 			if cfg.StaticEstimate != nil {
 				// The rack's single simulated pool is CPU-class, so the
@@ -323,6 +421,14 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		st.WaitP50 = dg.Quantile(0.50)
 		st.WaitP95 = dg.Quantile(0.95)
 		st.WaitP99 = dg.Quantile(0.99)
+	}
+	if lc := core.Lifecycle(); lc != nil {
+		// Close the idle integral at the common horizon so every mode's
+		// cost covers the same span, drain tail included.
+		core.AdvanceLifecycle(horizon)
+		st.ColdStarts = lc.ColdStarts()
+		st.Suspends = lc.Suspends()
+		st.IdleCost = lc.IdleCost()
 	}
 	if err := mc.Conservation(); err != nil {
 		return nil, err

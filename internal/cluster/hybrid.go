@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dscs/internal/metrics"
+	"dscs/internal/scale"
 	"dscs/internal/sched"
 	"dscs/internal/serve"
 	"dscs/internal/sim"
@@ -81,6 +82,15 @@ type HybridConfig struct {
 	// queue-delay alike (defaults metrics.DefaultWarmup /
 	// metrics.DefaultWindow).
 	EstimateWarmup, EstimateWindow int
+	// Elastic arms the worker lifecycle on every pool (split layout
+	// only): each pool runs the same serve.Lifecycle state machine as
+	// the live engine, driven from the virtual clock, with its own
+	// scale.Autoscaler deciding warm capacity. Per pool the lifecycle's
+	// Max is that pool's instance count (Elastic.Max is ignored — the
+	// CPUInstances/DSCSInstances split already sizes the pools) and Min
+	// is Elastic.Min clamped to it. Nil keeps the fixed-capacity replay
+	// bit for bit.
+	Elastic *scale.Config
 }
 
 // HybridStats is the outcome of a hybrid run.
@@ -105,6 +115,12 @@ type HybridStats struct {
 	// WaitP95 is each pool's windowed queue-delay p95 at the end of the
 	// run (split layout) — the signal adaptive balance keys on.
 	WaitP95 map[string]time.Duration
+	// ColdStarts, Suspends, and IdleCost sum the lifecycle tallies over
+	// every pool (split layout with Elastic set): warming transitions
+	// paid, slots suspended, and the warm-but-idle capacity integral.
+	ColdStarts int
+	Suspends   int
+	IdleCost   time.Duration
 }
 
 // observeLatency folds one completion's wall-clock latency into the sample
@@ -129,6 +145,9 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	}
 	if cfg.AdaptiveBalance && !cfg.SplitQueues {
 		return nil, fmt.Errorf("cluster: AdaptiveBalance needs SplitQueues")
+	}
+	if cfg.Elastic != nil && !cfg.SplitQueues {
+		return nil, fmt.Errorf("cluster: Elastic needs SplitQueues")
 	}
 	if cfg.SplitQueues {
 		return runSplitHybrid(tr, cfg, seed)
@@ -312,6 +331,46 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 	st.Served = make(map[string]int)
 	pricing := newHybridPricing(cfg)
 
+	// Elastic: every pool drives the same lifecycle state machine as the
+	// live engine, from this virtual clock. Pool capacity bounds come
+	// from the instance split; ascs[i] is nil for zero-instance pools
+	// (a CPU split finer than the instance count), which stay as built.
+	var ascs []*scale.Autoscaler
+	if cfg.Elastic != nil {
+		ascs = make([]*scale.Autoscaler, mc.Pools())
+		for i := 0; i < mc.Pools(); i++ {
+			pool := mc.Pool(i)
+			if pool.Workers() == 0 {
+				continue
+			}
+			ec := *cfg.Elastic
+			ec.Max = pool.Workers()
+			if ec.Min > ec.Max {
+				ec.Min = ec.Max
+			}
+			if err := ec.Validate(); err != nil {
+				return nil, err
+			}
+			initial := ec.Min
+			if ec.Mode == scale.ModeFixed {
+				initial = ec.Max
+			}
+			lc, err := serve.NewLifecycle(serve.LifecycleConfig{
+				Min: ec.Min, Max: ec.Max,
+				ColdStart: ec.ColdStart, IdleLinger: ec.IdleLinger,
+			}, initial, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := pool.AttachLifecycle(lc, 0); err != nil {
+				return nil, err
+			}
+			if ascs[i], err = scale.New(ec, mc.Spec(i).Name); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	onlyCPU := func(i int) bool { return i != dscsIdx }
 
 	// steal is the pull half of rebalancing: a pool with free instances
@@ -381,7 +440,63 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 	}
 
 	var pump func()
+
+	// Elastic drive, identical in shape to the Fig 13 sim's: fold virtual
+	// time into every lifecycle, re-decide each pool's autoscaler target,
+	// and arm a wake at the earliest lifecycle self-transition. Decisions
+	// are rate-limited as in the live engine (the digest quantile reads
+	// are not per-event work); any starved pool bypasses the limit.
+	warmup := int64(cfg.EstimateWarmup)
+	if warmup <= 0 {
+		warmup = int64(metrics.DefaultWarmup)
+	}
+	const scaleInterval = 100 * time.Millisecond
+	lastLifeWake := time.Duration(-1)
+	lastDecide := time.Duration(-1)
+	advanceScale := func() {
+		if ascs == nil {
+			return
+		}
+		now := engine.Now()
+		mc.AdvanceLifecycles(now)
+		starved := false
+		for i, a := range ascs {
+			p := mc.Pool(i)
+			if a != nil && p.QueueLen() > 0 && p.Busy() >= p.Workers() {
+				starved = true
+				break
+			}
+		}
+		if starved || lastDecide < 0 || now-lastDecide >= scaleInterval {
+			lastDecide = now
+			for i, a := range ascs {
+				if a == nil {
+					continue
+				}
+				p := mc.Pool(i)
+				var waitP95 time.Duration
+				if dg := mc.WaitDigest(i); dg != nil && dg.Count() >= warmup {
+					waitP95 = dg.Quantile(serve.WaitQuantile)
+				}
+				desired := a.Desired(now, p.Busy(), p.QueueLen(), waitP95)
+				if desired != p.Lifecycle().Desired() {
+					p.ScaleTo(desired, now)
+				}
+			}
+		}
+		if evt, ok := mc.NextLifecycleEvent(); ok && evt != lastLifeWake {
+			lastLifeWake = evt
+			engine.At(evt, func() {
+				if lastLifeWake == evt {
+					lastLifeWake = -1
+				}
+				pump()
+			})
+		}
+	}
+
 	pump = func() {
+		advanceScale()
 		for {
 			task, idx, ok := dispatch(engine.Now())
 			if !ok {
@@ -397,9 +512,16 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 			pool := mc.Spec(idx).Name
 			arrived := task.Arrived
 			elapsed := pricing.service(cfg, rng, task, class)
+			var asc *scale.Autoscaler
+			if ascs != nil {
+				asc = ascs[idx]
+			}
 			engine.After(elapsed, func() {
 				mc.Complete(idx, 1)
 				pricing.observe(task.Payload, class, elapsed)
+				if asc != nil {
+					asc.ObserveService(task.Payload, elapsed)
+				}
 				st.Completed++
 				st.Served[pool]++
 				st.observeLatency(engine.Now()-arrived, cfg.SLO)
@@ -443,6 +565,12 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 			if to, ok := spillTarget(); ok {
 				idx = to
 			}
+			if ascs != nil && ascs[idx] != nil {
+				// Offered load on the pool the arrival targets, dropped
+				// arrivals included — the pre-warm floor prices demand,
+				// not admitted throughput.
+				ascs[idx].ObserveArrival(req.Benchmark, engine.Now())
+			}
 			if mc.SubmitTo(idx, task) && idx != dscsIdx {
 				st.Spilled++
 			}
@@ -457,6 +585,18 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 	st.WaitP95 = make(map[string]time.Duration, mc.Pools())
 	for i := 0; i < mc.Pools(); i++ {
 		st.WaitP95[mc.Spec(i).Name] = mc.WaitQuantileOf(i, serve.WaitQuantile)
+	}
+	if ascs != nil {
+		// Close every pool's idle-cost integral at the common sampling
+		// horizon so the tallies compare across configurations.
+		mc.AdvanceLifecycles(tr.Duration + 2*time.Minute)
+		for i := 0; i < mc.Pools(); i++ {
+			if lc := mc.Pool(i).Lifecycle(); lc != nil {
+				st.ColdStarts += lc.ColdStarts()
+				st.Suspends += lc.Suspends()
+				st.IdleCost += lc.IdleCost()
+			}
+		}
 	}
 	if err := mc.Conservation(); err != nil {
 		return nil, err

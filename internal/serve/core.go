@@ -47,6 +47,10 @@ type PoolCore struct {
 	// DispatchFormed's due-group pull, so the batching hot path never
 	// allocates. Serialized by whatever serializes the core.
 	scratch []sched.HybridTask
+	// lc, when attached, makes the pool's capacity elastic: total/free
+	// track the lifecycle's warm count instead of staying fixed at
+	// construction. Nil keeps the fixed-pool behavior bit-identical.
+	lc *Lifecycle
 }
 
 // NewPoolCore builds a pool of the given worker count and admission bound.
@@ -70,6 +74,57 @@ func NewPoolCore(workers, queueDepth int, class sched.InstanceClass, policy sche
 
 // Policy returns the pool's scheduling policy.
 func (c *PoolCore) Policy() sched.Policy { return c.policy }
+
+// AttachLifecycle makes the pool's capacity elastic: from now on total
+// and free track the lifecycle's warm slot count. The pool must be idle
+// (nothing dispatched yet) — capacity changes hand busy workers over
+// only through AdvanceLifecycle, which never suspends an occupied slot.
+func (c *PoolCore) AttachLifecycle(lc *Lifecycle, now time.Duration) error {
+	if lc == nil {
+		return fmt.Errorf("serve: nil lifecycle")
+	}
+	if c.Busy() != 0 {
+		return fmt.Errorf("serve: lifecycle attached to a busy pool (%d busy)", c.Busy())
+	}
+	c.lc = lc
+	c.total = lc.advance(now, 0)
+	c.free = c.total
+	return nil
+}
+
+// Lifecycle returns the attached lifecycle (nil for a fixed pool).
+func (c *PoolCore) Lifecycle() *Lifecycle { return c.lc }
+
+// AdvanceLifecycle folds elapsed time into the attached lifecycle —
+// warming slots come ready, lingering slots suspend — and resizes the
+// pool to the resulting warm capacity, preserving busy workers. It
+// reports whether capacity changed (the caller re-drives dispatch and
+// refreshes gauges when it did). A fixed pool is a no-op. Callers drive
+// it at every scheduling event on the same clock they pass Dispatch.
+func (c *PoolCore) AdvanceLifecycle(now time.Duration) bool {
+	if c.lc == nil {
+		return false
+	}
+	warm := c.lc.advance(now, c.Busy())
+	if warm == c.total {
+		return false
+	}
+	c.free += warm - c.total
+	c.total = warm
+	return true
+}
+
+// ScaleTo forwards a new desired capacity to the attached lifecycle at
+// now and applies any immediate resize (zero cold start, or a shrink
+// whose linger already expired). A fixed pool ignores it.
+func (c *PoolCore) ScaleTo(desired int, now time.Duration) bool {
+	if c.lc == nil {
+		return false
+	}
+	c.lc.advance(now, c.Busy())
+	c.lc.SetDesired(desired, now)
+	return c.AdvanceLifecycle(now)
+}
 
 // AttachFormer gives the pool a queue-level batch former; DispatchFormed
 // consults it. Callers must then Observe every admitted task on it.

@@ -27,6 +27,7 @@ import (
 	"dscs/internal/metrics"
 	"dscs/internal/objstore"
 	"dscs/internal/platform"
+	"dscs/internal/scale"
 	"dscs/internal/sched"
 	"dscs/internal/workload"
 )
@@ -48,8 +49,31 @@ const DefaultMaxBatch = 8
 
 // Options tune the engine.
 type Options struct {
-	// Workers is the pool size per platform (default 4).
+	// Workers is the pool size per platform (default 4). With the elastic
+	// lifecycle armed (MaxWorkers > 0) it is ignored: capacity floats
+	// between MinWorkers and MaxWorkers instead.
 	Workers int
+	// MaxWorkers arms the elastic worker lifecycle when positive: each
+	// pool's warm capacity floats between MinWorkers and MaxWorkers,
+	// driven by a per-pool autoscaler (reactive by default, predictive
+	// with Prewarm). The pool spawns MaxWorkers goroutines; how many may
+	// dispatch at once is the lifecycle's warm count. Zero keeps the
+	// classic fixed pool bit-identical.
+	MaxWorkers int
+	// MinWorkers is the elastic floor (0 allows scale-to-zero: an idle
+	// pool suspends entirely and the next burst pays a cold start).
+	MinWorkers int
+	// ColdStart is the warming penalty a suspended slot pays before it
+	// can dispatch — the container pull plus the CompileCached miss.
+	ColdStart time.Duration
+	// IdleLinger is how long a warm worker stays idle before it may
+	// suspend (only while capacity exceeds the autoscaler's target).
+	IdleLinger time.Duration
+	// Prewarm upgrades the autoscaler from reactive (size to the live
+	// backlog) to predictive: a Little's-law floor from per-benchmark
+	// arrival-rate and service digests plus a wait-p95 surge latch warms
+	// capacity before the backlog exists.
+	Prewarm bool
 	// QueueDepth bounds each platform's admission queue (default 256).
 	QueueDepth int
 	// Policy selects queued work for free workers (default FCFS, the
@@ -250,6 +274,20 @@ type pool struct {
 	// can never strand against a sleeping pool.
 	parked atomic.Int32
 
+	// autoscaler produces the pool's desired warm capacity (nil for a
+	// classic fixed pool); lifeTimer wakes the pool at the lifecycle's
+	// next self-transition (a warming slot coming ready, a linger
+	// expiring). timerAt is the armed instant (engine-clock basis,
+	// -1 when nothing is armed); scaleAt stamps the last autoscale
+	// decision for its rate limit. All three are guarded by p.mu.
+	autoscaler *scale.Autoscaler
+	lifeTimer  *time.Timer
+	timerAt    time.Duration
+	scaleAt    time.Duration
+	// coldStartsPub tracks how many lifecycle cold starts have been
+	// published to the counters (guarded by p.mu).
+	coldStartsPub int
+
 	// Pre-resolved telemetry handles: completions and queue mutations touch
 	// one atomic store each instead of re-walking the registry map.
 	gDepth    sched.GaugeHandle
@@ -257,8 +295,13 @@ type pool struct {
 	gDelayP50 sched.GaugeHandle
 	gDelayP95 sched.GaugeHandle
 	gDelayP99 sched.GaugeHandle
+	gWorkers  sched.GaugeHandle
+	gWarm     sched.GaugeHandle
+	gCold     sched.GaugeHandle
+	gWarming  sched.GaugeHandle
 	cDropped  sched.CounterHandle
 	cFormed   sched.CounterHandle
+	cColdSt   sched.CounterHandle
 	// delayRefresh is the wall-clock nanos of the last serve_queue_delay_*
 	// gauge refresh — the publish rate limit (gaugeRefreshInterval). The
 	// digests themselves stay exact; only how often their window quantiles
@@ -430,6 +473,7 @@ type Engine struct {
 	cStealAll    sched.CounterHandle
 	cSpillAll    sched.CounterHandle
 	cDriveWait   sched.CounterHandle
+	cColdAll     sched.CounterHandle
 	// Per-drive occupancy handles, indexed like drives.ids.
 	driveBusy []sched.GaugeHandle
 	driveAcq  []sched.CounterHandle
@@ -460,6 +504,20 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		opt.Policy = p
 	}
 	opt = opt.withDefaults()
+	elastic := opt.MaxWorkers > 0
+	if elastic {
+		if opt.MinWorkers < 0 || opt.MinWorkers > opt.MaxWorkers {
+			return nil, fmt.Errorf("serve: MinWorkers %d outside [0, MaxWorkers=%d]",
+				opt.MinWorkers, opt.MaxWorkers)
+		}
+		if opt.ColdStart < 0 || opt.IdleLinger < 0 {
+			return nil, fmt.Errorf("serve: negative ColdStart/IdleLinger")
+		}
+	} else if opt.MaxWorkers < 0 {
+		return nil, fmt.Errorf("serve: negative MaxWorkers %d", opt.MaxWorkers)
+	} else if opt.Prewarm || opt.MinWorkers != 0 || opt.ColdStart != 0 || opt.IdleLinger != 0 {
+		return nil, fmt.Errorf("serve: elastic options need MaxWorkers > 0")
+	}
 	e := &Engine{
 		opt:     opt,
 		tel:     opt.Telemetry,
@@ -472,12 +530,40 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	var dscsStores []*objstore.Store
 	for name, r := range runners {
 		class := classFor(r.Platform)
-		core, err := NewPoolCore(opt.Workers, opt.QueueDepth, class, opt.Policy)
+		poolWorkers := opt.Workers
+		if elastic {
+			poolWorkers = opt.MaxWorkers
+		}
+		core, err := NewPoolCore(poolWorkers, opt.QueueDepth, class, opt.Policy)
 		if err != nil {
 			return nil, err
 		}
-		p := &pool{name: name, runner: r, class: class, core: core}
+		p := &pool{name: name, runner: r, class: class, core: core, timerAt: -1}
 		p.cond = sync.NewCond(&p.mu)
+		if elastic {
+			lc, err := NewLifecycle(LifecycleConfig{
+				Min: opt.MinWorkers, Max: opt.MaxWorkers,
+				ColdStart: opt.ColdStart, IdleLinger: opt.IdleLinger,
+			}, opt.MinWorkers, e.now())
+			if err != nil {
+				return nil, err
+			}
+			if err := core.AttachLifecycle(lc, e.now()); err != nil {
+				return nil, err
+			}
+			mode := scale.ModeReactive
+			if opt.Prewarm {
+				mode = scale.ModePredictive
+			}
+			p.autoscaler, err = scale.New(scale.Config{
+				Mode: mode, Min: opt.MinWorkers, Max: opt.MaxWorkers,
+				ColdStart: opt.ColdStart, IdleLinger: opt.IdleLinger,
+				Window: opt.EstimateWindow,
+			}, name)
+			if err != nil {
+				return nil, err
+			}
+		}
 		if shards := ingressShards(opt.IngressShards); shards > 0 {
 			p.ingress = newIngress(shards, opt.QueueDepth)
 		}
@@ -493,7 +579,21 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		if class == sched.ClassDSCS && r.Store != nil {
 			dscsStores = append(dscsStores, r.Store)
 		}
-		e.tel.Set("serve_workers{platform="+name+"}", float64(opt.Workers))
+		// serve_workers tracks live warm capacity through a handle — it
+		// refreshes on every lifecycle transition instead of being set
+		// once at construction (on a fixed pool it is simply constant).
+		p.gWorkers = e.tel.GaugeHandle("serve_workers{platform=" + name + "}")
+		p.gWorkers.Set(float64(core.Workers()))
+		if lc := core.Lifecycle(); lc != nil {
+			p.gWarm = e.tel.GaugeHandle("serve_workers_warm{platform=" + name + "}")
+			p.gCold = e.tel.GaugeHandle("serve_workers_cold{platform=" + name + "}")
+			p.gWarming = e.tel.GaugeHandle("serve_workers_warming{platform=" + name + "}")
+			p.cColdSt = e.tel.CounterHandle("serve_cold_starts_total{platform=" + name + "}")
+			p.gWarm.Set(float64(lc.Warm()))
+			p.gCold.Set(float64(lc.Cold()))
+			p.gWarming.Set(float64(lc.Warming()))
+			e.tel.Inc("serve_cold_starts_total", 0)
+		}
 		// Queue-delay gauges are registered up front so /metrics shows the
 		// wait observatory live before the first dispatch.
 		for _, q := range []string{"p50", "p95", "p99"} {
@@ -571,6 +671,7 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	e.cStealAll = e.tel.CounterHandle("serve_steal_total")
 	e.cSpillAll = e.tel.CounterHandle("serve_spillover_total")
 	e.cDriveWait = e.tel.CounterHandle("serve_drive_contention_total")
+	e.cColdAll = e.tel.CounterHandle("serve_cold_starts_total")
 	e.exec = opt.Execute
 	if e.exec == nil {
 		e.exec = func(r *faas.Runner, b *workload.Benchmark, o faas.Options) (faas.Result, error) {
@@ -578,7 +679,14 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		}
 	}
 	for _, p := range e.pools {
-		for i := 0; i < opt.Workers; i++ {
+		// With the elastic lifecycle every slot gets a goroutine up front;
+		// how many may dispatch at once is the lifecycle's warm count, so
+		// suspended capacity is a parked goroutine, not a missing one.
+		n := opt.Workers
+		if elastic {
+			n = opt.MaxWorkers
+		}
+		for i := 0; i < n; i++ {
 			e.wg.Add(1)
 			go e.worker(p)
 		}
@@ -717,6 +825,115 @@ func (e *Engine) syncDepth(p *pool) {
 		p.ingress.syncQueued(n)
 	}
 	p.gDepth.Set(float64(n))
+}
+
+// scaleDecideInterval rate-limits autoscale decisions per pool: the
+// digest quantile reads behind Desired are not per-dispatch work. A
+// starved pool (backlog with zero free capacity) bypasses the limit —
+// that is the one state where waiting a millisecond to scale costs
+// latency for certain.
+const scaleDecideInterval = time.Millisecond
+
+// advanceElasticLocked drives a pool's lifecycle to the present: warming
+// slots come ready, expired lingers suspend, and (rate-limited) the
+// autoscaler's desired capacity is recomputed and applied. It refreshes
+// the worker gauges and re-arms the lifecycle timer, and reports whether
+// warm capacity changed — the caller broadcasts then, so parked workers
+// re-try dispatch against the new capacity. Callers hold p.mu; a fixed
+// pool is a no-op.
+func (e *Engine) advanceElasticLocked(p *pool) bool {
+	lc := p.core.Lifecycle()
+	if lc == nil {
+		return false
+	}
+	now := e.now()
+	changed := p.core.AdvanceLifecycle(now)
+	if a := p.autoscaler; a != nil && !p.closed {
+		starved := p.core.QueueLen() > 0 && p.core.Busy() >= p.core.Workers()
+		if starved || now-p.scaleAt >= scaleDecideInterval {
+			p.scaleAt = now
+			var waitP95 time.Duration
+			if dg := e.waitDigestOf(p); dg != nil && dg.Count() >= e.waitObs.Warmup() {
+				waitP95 = dg.Quantile(WaitQuantile)
+			}
+			desired := a.Desired(now, p.core.Busy(), p.core.QueueLen(), waitP95)
+			if desired != lc.Desired() && p.core.ScaleTo(desired, now) {
+				changed = true
+			}
+		}
+	}
+	e.syncWorkersLocked(p)
+	return changed
+}
+
+// syncWorkersLocked publishes a pool's live capacity — serve_workers is
+// the warm count, never the construction-time constant — plus the
+// warm/cold/warming breakdown and any newly paid cold starts, then
+// re-arms the lifecycle timer. Callers hold p.mu; fixed pools are a
+// no-op (their construction-time gauge stays exact).
+func (e *Engine) syncWorkersLocked(p *pool) {
+	lc := p.core.Lifecycle()
+	if lc == nil {
+		return
+	}
+	p.gWorkers.Set(float64(lc.Warm()))
+	p.gWarm.Set(float64(lc.Warm()))
+	p.gCold.Set(float64(lc.Cold()))
+	p.gWarming.Set(float64(lc.Warming()))
+	if cs := lc.ColdStarts(); cs > p.coldStartsPub {
+		d := float64(cs - p.coldStartsPub)
+		p.coldStartsPub = cs
+		p.cColdSt.Inc(d)
+		e.cColdAll.Inc(d)
+	}
+	e.armLifecycleLocked(p)
+}
+
+// armLifecycleLocked points the pool's timer at the lifecycle's next
+// self-transition. The state machine is clock-free; this timer is the
+// live engine's half of the bargain — the sims schedule virtual events
+// at the same instants. Callers hold p.mu.
+func (e *Engine) armLifecycleLocked(p *pool) {
+	evt, ok := p.core.Lifecycle().NextEvent()
+	if !ok || p.closed {
+		if p.lifeTimer != nil {
+			p.lifeTimer.Stop()
+		}
+		p.timerAt = -1
+		return
+	}
+	if evt == p.timerAt {
+		return
+	}
+	p.timerAt = evt
+	d := evt - e.now()
+	if d < 0 {
+		d = 0
+	}
+	if p.lifeTimer == nil {
+		p.lifeTimer = time.AfterFunc(d, func() { e.lifecycleTick(p) })
+	} else {
+		p.lifeTimer.Reset(d)
+	}
+}
+
+// lifecycleTick is the timer callback behind armLifecycleLocked: a
+// warming slot just came ready or a linger just expired. Capacity
+// changes wake every parked worker — freshly warmed slots have a
+// backlog to drain.
+func (e *Engine) lifecycleTick(p *pool) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.timerAt = -1
+	e.drainLocked(p)
+	changed := e.advanceElasticLocked(p)
+	p.mu.Unlock()
+	if changed {
+		p.cond.Broadcast()
+	}
 }
 
 // poolDepth reads a pool's total backlog — staged plus queued with the
@@ -1032,6 +1249,11 @@ func (e *Engine) enqueue(platformName string, b *workload.Benchmark, opt faas.Op
 		e.cSpillAll.Inc(1)
 		e.tel.Inc("serve_spillover_total{from="+p.name+",to="+target.name+"}", 1)
 	}
+	if target.autoscaler != nil {
+		// Arrival-rate digests feed the predictive pre-warm floor; the
+		// autoscaler serializes internally, off the pool lock.
+		target.autoscaler.ObserveArrival(b.Slug, task.Arrived)
+	}
 	e.cSubmitted.Inc(1)
 	return req, target.name, nil
 }
@@ -1332,6 +1554,7 @@ func (e *Engine) worker(p *pool) {
 	p.mu.Lock()
 	for {
 		e.drainLocked(p)
+		e.advanceElasticLocked(p)
 		now := e.now()
 		task, ok, wait, waitOK, formed := e.dispatch(p, now)
 		if !ok {
@@ -1450,6 +1673,11 @@ func (e *Engine) worker(p *pool) {
 		p.mu.Unlock()
 		if err == nil {
 			e.observe(bs.payload, p.name, res.Total(), dispatched)
+			if p.autoscaler != nil {
+				// The predictive floor prices demand with observed
+				// service times; completions are where they exist.
+				p.autoscaler.ObserveService(bs.payload, res.Total())
+			}
 		}
 		e.cBatches.Inc(1)
 		e.cBatchedReqs.Inc(float64(len(bs.reqs)))
@@ -1482,6 +1710,19 @@ func (e *Engine) Close() {
 		for _, p := range e.pools {
 			p.mu.Lock()
 			p.closed = true
+			if lc := p.core.Lifecycle(); lc != nil {
+				// Drain semantics: queued work must still be served, so
+				// suspension stops and warming finishes instantly — a
+				// scaled-to-zero pool gets one slot back to empty its
+				// queue rather than stranding requests behind cold
+				// capacity.
+				if p.lifeTimer != nil {
+					p.lifeTimer.Stop()
+				}
+				p.timerAt = -1
+				lc.Freeze(e.now())
+				p.core.AdvanceLifecycle(e.now())
+			}
 			var flushed []ingressEntry
 			if p.ingress != nil {
 				// Closing the shards (under p.mu, which every drain also

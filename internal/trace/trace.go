@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"dscs/internal/metrics"
@@ -67,6 +68,60 @@ func (c BurstyConfig) RateAt(t time.Duration) float64 {
 	return c.BaseRate
 }
 
+// DiurnalConfig parameterizes a day-shaped rate profile with bursts riding
+// on top: a sinusoid swings the base rate between MinRate (trough, at t=0)
+// and MaxRate (crest) over each Period, and periodic bursts multiply
+// whatever the sinusoid sits at by BurstFactor — spikes proportional to
+// ambient traffic, so nights stay quiet while daytime bursts overwhelm a
+// mid-sized pool. This is the elastic-capacity stress shape: a fixed pool
+// sized near the crest idles through every trough, and a purely reactive
+// one eats a cold start at every burst edge.
+type DiurnalConfig struct {
+	Duration time.Duration
+	// MinRate and MaxRate bound the sinusoidal base in requests/s.
+	MinRate, MaxRate float64
+	// Period is one full trough-crest-trough cycle.
+	Period time.Duration
+	// BurstFactor multiplies the base rate during bursts (0 or 1
+	// disables; must otherwise exceed 1).
+	BurstFactor float64
+	// BurstEvery and BurstLength time the bursts (as in BurstyConfig).
+	BurstEvery, BurstLength time.Duration
+}
+
+// Validate rejects degenerate configs.
+func (c DiurnalConfig) Validate() error {
+	if c.Duration <= 0 || c.MinRate <= 0 || c.MaxRate < c.MinRate || c.Period <= 0 {
+		return fmt.Errorf("trace: invalid diurnal profile")
+	}
+	if c.BurstFactor != 0 && c.BurstFactor < 1 {
+		return fmt.Errorf("trace: BurstFactor must be 0 (off) or >= 1")
+	}
+	if c.BurstFactor > 1 &&
+		(c.BurstEvery <= 0 || c.BurstLength <= 0 || c.BurstLength >= c.BurstEvery) {
+		return fmt.Errorf("trace: invalid burst timing")
+	}
+	return nil
+}
+
+// peak is the thinning envelope.
+func (c DiurnalConfig) peak() float64 {
+	if c.BurstFactor > 1 {
+		return c.MaxRate * c.BurstFactor
+	}
+	return c.MaxRate
+}
+
+// RateAt returns the instantaneous arrival rate.
+func (c DiurnalConfig) RateAt(t time.Duration) float64 {
+	phase := 2 * math.Pi * float64(t) / float64(c.Period)
+	rate := c.MinRate + (c.MaxRate-c.MinRate)*(1-math.Cos(phase))/2
+	if c.BurstFactor > 1 && t%c.BurstEvery < c.BurstLength {
+		rate *= c.BurstFactor
+	}
+	return rate
+}
+
 // Generate draws the arrival sequence: a non-homogeneous Poisson process by
 // thinning against the peak rate, with benchmarks sampled uniformly (the
 // paper samples functions randomly from the suite).
@@ -74,21 +129,35 @@ func Generate(cfg BurstyConfig, suite []*workload.Benchmark, rng *sim.RNG) (*Tra
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return generate(cfg.Duration, cfg.BurstRate, cfg.RateAt, suite, rng)
+}
+
+// GenerateDiurnal draws a diurnal+bursty arrival sequence by the same
+// thinning construction.
+func GenerateDiurnal(cfg DiurnalConfig, suite []*workload.Benchmark, rng *sim.RNG) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return generate(cfg.Duration, cfg.peak(), cfg.RateAt, suite, rng)
+}
+
+// generate is the shared thinning loop: exponential gaps at the peak rate,
+// arrivals kept with probability rate(t)/peak.
+func generate(duration time.Duration, peak float64, rateAt func(time.Duration) float64, suite []*workload.Benchmark, rng *sim.RNG) (*Trace, error) {
 	if len(suite) == 0 {
 		return nil, fmt.Errorf("trace: empty suite")
 	}
-	tr := &Trace{Duration: cfg.Duration}
-	peak := cfg.BurstRate
+	tr := &Trace{Duration: duration}
 	meanGap := time.Duration(float64(time.Second) / peak)
 	t := time.Duration(0)
 	id := 0
 	for {
 		t += rng.Exp(meanGap)
-		if t >= cfg.Duration {
+		if t >= duration {
 			break
 		}
 		// Thinning: accept with probability rate(t)/peak.
-		if rng.Float64()*peak > cfg.RateAt(t) {
+		if rng.Float64()*peak > rateAt(t) {
 			continue
 		}
 		b := suite[rng.Intn(len(suite))]
