@@ -28,6 +28,13 @@
 // static spillover/steal depth counts with the wait-keyed decision: work
 // rebalances once a pool's adopted queue-delay p95 diverges above a
 // peer's; watch the serve_queue_delay_p50/p95/p99 gauges).
+//
+// The failure model is armed with -hedge-factor (duplicate a straggling
+// execution on a healthy peer once it outlives that multiple of its
+// adopted service-p95; watch serve_hedges_fired_total/serve_hedges_won_
+// total) and -fault-script (a scripted schedule of pool and drive kills
+// and recoveries, e.g. '30s:pool-down:DSCS-Serverless;2m:pool-up:
+// DSCS-Serverless'; watch serve_faults_total and serve_requeues_total).
 package main
 
 import (
@@ -45,6 +52,7 @@ import (
 	"dscs/internal/gateway"
 	"dscs/internal/metrics"
 	"dscs/internal/serve"
+	"dscs/internal/trace"
 )
 
 func main() {
@@ -70,9 +78,15 @@ func main() {
 		coldStart   = flag.Duration("cold-start", 0, "provisioning penalty a cold slot pays before serving (needs -max-workers)")
 		idleLinger  = flag.Duration("idle-linger", 0, "idle grace before a surplus warm slot suspends (needs -max-workers)")
 		prewarm     = flag.Bool("prewarm", false, "predictive autoscaling: pre-warm to the arrival-rate demand floor and surge on wait-p95 (needs -max-workers; default reactive)")
+		hedgeFactor = flag.Float64("hedge-factor", 0, "dispatch a duplicate on a healthy peer once an execution outlives this multiple of its adopted service-p95; first completion wins (0 disables, must be >= 1 otherwise)")
+		faultScript = flag.String("fault-script", "", "scripted fault schedule, e.g. '30s:pool-down:DSCS-Serverless;2m:pool-up:DSCS-Serverless' (kinds: pool-down, pool-up, drive-down, drive-up)")
 	)
 	flag.Parse()
 
+	faults, err := trace.ParseFaultScript(*faultScript)
+	if err != nil {
+		fail(err)
+	}
 	env, err := dscs.NewEnvironment(*seed)
 	if err != nil {
 		fail(err)
@@ -96,6 +110,8 @@ func main() {
 			ColdStart:          *coldStart,
 			IdleLinger:         *idleLinger,
 			Prewarm:            *prewarm,
+			HedgeFactor:        *hedgeFactor,
+			Faults:             faults,
 		})
 	if err != nil {
 		fail(err)
@@ -125,6 +141,12 @@ func main() {
 	}
 	fmt.Printf("DSCS-Serverless gateway listening on %s (%s, %s policy, queue %d, batch %d, linger %v, global-batch %v, spillover %d, steal %d, adaptive %v, balance %v)\n",
 		*addr, capacity, *policy, *queueDepth, *maxBatch, *linger, *globalBatch, *spillover, *steal, *adaptive, *balance)
+	if *hedgeFactor >= 1 {
+		fmt.Printf("  hedging duplicates at %gx the adopted service-p95\n", *hedgeFactor)
+	}
+	if len(faults) > 0 {
+		fmt.Printf("  fault script armed: %s\n", trace.FormatFaultScript(faults))
+	}
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")

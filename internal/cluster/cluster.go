@@ -76,6 +76,14 @@ type Config struct {
 	// bit-identical. The sim drives the identical serve.Lifecycle the
 	// live engine runs, from the virtual clock.
 	Elastic *scale.Config
+	// Faults is the scripted fault schedule (trace.ParseFaultScript),
+	// replayed on the virtual clock. The rack has one pool named "sim", so
+	// only pool events targeting it are accepted; drive events are rejected
+	// — the Figure 13 rack does not model storage nodes. A pool-down browns
+	// the rack out mid-trace: in-flight executions cancel and their tasks
+	// requeue (serve.PoolCore.Requeue, at-most-once accounting), the queue
+	// keeps admitting, and dispatch resumes on pool-up.
+	Faults []trace.FaultEvent
 }
 
 // simPlatform keys the simulation's digests: the rack has one simulated
@@ -121,6 +129,13 @@ type Stats struct {
 	// worker-time bought but unused — the cost axis the elastic goldens
 	// trade against WithinSLO.
 	IdleCost time.Duration
+	// Faults counts pool brown-outs applied; Requeued counts in-flight
+	// tasks returned to the queue by a brown-out (both 0 without
+	// Config.Faults).
+	Faults, Requeued int
+	// Stranded counts tasks still queued when the run ends — nonzero only
+	// when the script leaves the pool dead at the horizon.
+	Stranded int
 }
 
 // Run replays the trace against the pool and returns the series.
@@ -137,6 +152,15 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	}
 	if cfg.SampleEvery <= 0 {
 		cfg.SampleEvery = 5 * time.Second
+	}
+	for _, ev := range cfg.Faults {
+		if !ev.Kind.Pool() {
+			return nil, fmt.Errorf("cluster: the rack sim models pool faults only, got %q", ev)
+		}
+		if ev.Target != simPlatform {
+			return nil, fmt.Errorf("cluster: fault script targets unknown pool %q (the rack's one pool is %q)",
+				ev.Target, simPlatform)
+		}
 	}
 	engine := sim.NewEngine()
 	rng := sim.NewRNG(seed)
@@ -200,11 +224,32 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 	var bucketN int
 
 	var pump func()
+	// simExec is one in-flight execution under the fault model: a pool-down
+	// cancels it — its completion event still fires but retires nothing —
+	// and requeues its tasks. Tracked only when a fault script is armed, so
+	// faultless runs stay bit-identical.
+	type simExec struct {
+		tasks           []sched.HybridTask
+		done, cancelled bool
+	}
+	var inflight []*simExec
+	faultsOn := len(cfg.Faults) > 0
 	// execute retires a gathered batch after one service time: the lead's
 	// sample prices the whole coalesced execution, as on the live engine.
 	execute := func(tasks []sched.HybridTask) {
+		var ex *simExec
+		if faultsOn {
+			ex = &simExec{tasks: tasks}
+			inflight = append(inflight, ex)
+		}
 		service := cfg.Service(tasks[0].Payload, rng)
 		engine.After(service, func() {
+			if ex != nil {
+				if ex.cancelled {
+					return
+				}
+				ex.done = true
+			}
 			core.Complete(len(tasks))
 			st.Batches++
 			if asc != nil {
@@ -362,6 +407,54 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		}
 	}
 
+	// applyFault drives the scripted schedule. A pool-down browns the rack
+	// out mid-run: open linger windows and in-flight executions cancel, and
+	// their tasks return to the queue by arrival order (the at-most-once
+	// path — the submission ledger never moves, each task is still owed
+	// exactly one completion). A pool-up resumes dispatch over the
+	// preserved backlog; requeued work re-enters through the same former or
+	// window machinery it originally took.
+	applyFault := func(ev trace.FaultEvent) {
+		now := engine.Now()
+		if ev.Kind == trace.FaultPoolUp {
+			mc.RecoverPool(0, now)
+			pump()
+			return
+		}
+		if !mc.Healthy(0) {
+			return
+		}
+		mc.FailPool(0, now)
+		for _, win := range open {
+			if win.fired {
+				continue
+			}
+			win.fired = true
+			mc.Requeue(0, win.batch)
+		}
+		open = open[:0]
+		for _, ex := range inflight {
+			if ex.done || ex.cancelled {
+				continue
+			}
+			ex.cancelled = true
+			mc.Requeue(0, ex.tasks)
+			if former != nil {
+				// Requeue leaves the former untouched; re-observe the tasks
+				// at submit weight so their groups re-form.
+				for _, t := range ex.tasks {
+					former.Observe(t, 1)
+				}
+			}
+		}
+		// Every tracked execution is now done or cancelled (one pool).
+		inflight = inflight[:0]
+	}
+	for _, ev := range cfg.Faults {
+		ev := ev
+		engine.At(ev.At, func() { applyFault(ev) })
+	}
+
 	for _, r := range tr.Requests {
 		req := r
 		engine.At(req.At, func() {
@@ -430,12 +523,18 @@ func Run(tr *trace.Trace, cfg Config, seed uint64) (*Stats, error) {
 		st.Suspends = lc.Suspends()
 		st.IdleCost = lc.IdleCost()
 	}
+	st.Faults = mc.Faults()
+	st.Requeued = mc.Requeued()
+	st.Stranded = mc.QueueLen()
 	if err := mc.Conservation(); err != nil {
 		return nil, err
 	}
-	if st.Completed+st.Dropped != len(tr.Requests) {
-		return nil, fmt.Errorf("cluster: lost requests: %d completed + %d dropped != %d arrived",
-			st.Completed, st.Dropped, len(tr.Requests))
+	if st.Completed+st.Dropped+st.Stranded != len(tr.Requests) {
+		return nil, fmt.Errorf("cluster: lost requests: %d completed + %d dropped + %d stranded != %d arrived",
+			st.Completed, st.Dropped, st.Stranded, len(tr.Requests))
+	}
+	if st.Stranded > 0 && !faultsOn {
+		return nil, fmt.Errorf("cluster: %d requests stranded without a fault script", st.Stranded)
 	}
 	return st, nil
 }

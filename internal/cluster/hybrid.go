@@ -91,6 +91,22 @@ type HybridConfig struct {
 	// is Elastic.Min clamped to it. Nil keeps the fixed-capacity replay
 	// bit for bit.
 	Elastic *scale.Config
+	// Faults is the scripted fault schedule (trace.ParseFaultScript),
+	// replayed on the virtual clock (split layout only). Pool events target
+	// pool names ("dscs", "cpu" or "cpu0".."cpuN-1"); drive events are
+	// rejected — this sim models instances, not storage nodes. A pool-down
+	// gates the pool's dispatch and cancels its in-flight executions, whose
+	// tasks requeue (serve.PoolCore.Requeue); peers rescue the backlog
+	// through the spill/steal machinery, which treats a dead pool as
+	// unboundedly slow rather than idle.
+	Faults []trace.FaultEvent
+	// HedgeFactor arms tail-latency hedging (split layout only): an
+	// execution that outlives HedgeFactor x the adopted service-p95 for its
+	// benchmark on its class dispatches a duplicate on a healthy peer pool
+	// with a free worker (serve.PoolCore.Hedge — borrowed outside the
+	// submission ledger); the first completion wins. 0 disables; values
+	// below 1 are rejected.
+	HedgeFactor float64
 }
 
 // HybridStats is the outcome of a hybrid run.
@@ -121,6 +137,18 @@ type HybridStats struct {
 	ColdStarts int
 	Suspends   int
 	IdleCost   time.Duration
+	// Faults counts pool brown-outs applied; Requeued counts in-flight
+	// tasks returned to their queue by a brown-out (split layout with
+	// Faults).
+	Faults, Requeued int
+	// HedgesFired counts duplicate dispatches launched; HedgesWon counts
+	// the duplicates that finished before their primary (split layout with
+	// HedgeFactor).
+	HedgesFired, HedgesWon int
+	// Stranded counts tasks still queued when the run ends — nonzero only
+	// when a fault script leaves a pool dead at the horizon with no rescue
+	// path armed.
+	Stranded int
 }
 
 // observeLatency folds one completion's wall-clock latency into the sample
@@ -148,6 +176,12 @@ func RunHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStats, er
 	}
 	if cfg.Elastic != nil && !cfg.SplitQueues {
 		return nil, fmt.Errorf("cluster: Elastic needs SplitQueues")
+	}
+	if cfg.HedgeFactor != 0 && cfg.HedgeFactor < 1 {
+		return nil, fmt.Errorf("cluster: HedgeFactor %g must be 0 (off) or >= 1", cfg.HedgeFactor)
+	}
+	if (len(cfg.Faults) > 0 || cfg.HedgeFactor != 0) && !cfg.SplitQueues {
+		return nil, fmt.Errorf("cluster: Faults and HedgeFactor need SplitQueues")
 	}
 	if cfg.SplitQueues {
 		return runSplitHybrid(tr, cfg, seed)
@@ -288,6 +322,27 @@ func runSharedHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridSta
 	return st, finishHybrid(tr, st)
 }
 
+// splitExec is one in-flight execution in the split layout's fault/hedge
+// model: pool is the dispatch pool (the accounting owner throughout), done
+// marks a completion already credited (by the primary or a winning hedge),
+// cancelled marks a pool-down requeue, and hedged makes the duplicate
+// dispatch one-shot per execution.
+type splitExec struct {
+	task            sched.HybridTask
+	pool            int
+	done, cancelled bool
+	hedged          bool
+}
+
+// hedgeRun is one borrowed-worker duplicate execution: pool is the peer
+// lending the worker, finished marks its completion event fired, cancelled
+// marks the peer dying mid-hedge (the borrow is still returned at the event
+// — the lease runs out on schedule — but the result is discarded).
+type hedgeRun struct {
+	pool                int
+	finished, cancelled bool
+}
+
 // runSplitHybrid is the per-pool-backlog layout on serve.MultiCore: one
 // DSCS pool plus CPUPools same-class CPU pools, rebalanced by submit-time
 // spillover and drain-time stealing — keyed by the static depth thresholds
@@ -325,6 +380,14 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 	mc, err := serve.NewMultiCore(specs)
 	if err != nil {
 		return nil, err
+	}
+	for _, ev := range cfg.Faults {
+		if !ev.Kind.Pool() {
+			return nil, fmt.Errorf("cluster: the hybrid sim models pool faults only, got %q", ev)
+		}
+		if mc.Index(ev.Target) < 0 {
+			return nil, fmt.Errorf("cluster: fault script targets unknown pool %q", ev.Target)
+		}
 	}
 	mc.SetWaitTuning(cfg.EstimateWindow, cfg.EstimateWarmup)
 	st := newHybridStats(tr, cfg)
@@ -386,7 +449,10 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 		for to := 0; to < mc.Pools(); to++ {
 			thief := mc.Pool(to)
 			free := thief.Workers() - thief.Busy()
-			if free == 0 || thief.QueueLen() > 0 {
+			// A dead thief never steals: its requeued in-flight work freed
+			// workers that cannot dispatch, which would otherwise make the
+			// grave look like the hungriest pool in the set.
+			if free == 0 || thief.QueueLen() > 0 || !thief.Healthy() {
 				continue
 			}
 			if cfg.AdaptiveBalance {
@@ -402,15 +468,27 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 			}
 			from, excess := -1, 0
 			for i := 0; i < mc.Pools(); i++ {
+				if i == to {
+					continue
+				}
 				// The static threshold steals cross-class only, exactly
 				// like the live engine's static path: same-class
 				// rebalancing is what AdaptiveBalance adds, and a replay
 				// must not move work the deployed configuration would
-				// leave queued.
-				if i == to || mc.Spec(i).Class == mc.Spec(to).Class {
+				// leave queued. A dead donor bypasses both the class
+				// restriction and the depth floor — its backlog has no
+				// workers coming back for it, so any orphan justifies the
+				// pull (the live engine's static path applies the same
+				// bypass).
+				alive := mc.Healthy(i)
+				if alive && mc.Spec(i).Class == mc.Spec(to).Class {
 					continue
 				}
-				if over := mc.Pool(i).QueueLen() - cfg.StealThreshold; over > excess {
+				floor := cfg.StealThreshold
+				if !alive {
+					floor = 0
+				}
+				if over := mc.Pool(i).QueueLen() - floor; over > excess {
 					from, excess = i, over
 				}
 			}
@@ -440,6 +518,36 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 	}
 
 	var pump func()
+	var tryHedge func(*splitExec)
+
+	// Tracked only when a fault script or hedging is armed, so the classic
+	// replays stay bit-identical: splitExec is one in-flight execution — a
+	// pool-down cancels it (its completion event retires nothing and its
+	// task requeues), a hedge duplicates it onto a peer and the first
+	// finish wins. hedgeRun is one borrowed-worker duplicate; the host
+	// pool dying cancels it too.
+	var (
+		inflight []*splitExec
+		hedges   []*hedgeRun
+	)
+	faultsOn := len(cfg.Faults) > 0
+	hedgeOn := cfg.HedgeFactor >= 1
+
+	// hedgeThreshold prices one execution's patience: HedgeFactor x the
+	// adopted service-p95 for the benchmark on the serving class — the
+	// static belief until the estimate digests warm, exactly the pricing
+	// the live engine's execHedged applies.
+	hedgeThreshold := func(t sched.HybridTask, class sched.InstanceClass) time.Duration {
+		static := t.CPUService
+		if class == sched.ClassDSCS {
+			static = t.DSCSService
+		}
+		q := static
+		if pricing.obs != nil {
+			q = pricing.obs.ServiceQuantile(t.Payload, class.String(), static, 0.95)
+		}
+		return time.Duration(float64(q) * cfg.HedgeFactor)
+	}
 
 	// Elastic drive, identical in shape to the Fig 13 sim's: fold virtual
 	// time into every lifecycle, re-decide each pool's autoscaler target,
@@ -516,7 +624,27 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 			if ascs != nil {
 				asc = ascs[idx]
 			}
+			var ex *splitExec
+			if faultsOn || hedgeOn {
+				ex = &splitExec{task: task, pool: idx}
+				inflight = append(inflight, ex)
+			}
+			if hedgeOn {
+				// The sim knows the true service time up front, so the
+				// hedge timer only arms when the primary will actually
+				// outlive its patience — the live engine's timer fires
+				// blind and finds the primary already done, same outcome.
+				if patience := hedgeThreshold(task, class); patience > 0 && patience < elapsed {
+					engine.After(patience, func() { tryHedge(ex) })
+				}
+			}
 			engine.After(elapsed, func() {
+				if ex != nil {
+					if ex.done || ex.cancelled {
+						return
+					}
+					ex.done = true
+				}
 				mc.Complete(idx, 1)
 				pricing.observe(task.Payload, class, elapsed)
 				if asc != nil {
@@ -530,10 +658,120 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 		}
 	}
 
+	// tryHedge launches the duplicate dispatch for one straggling
+	// execution: the first healthy peer pool (ascending index) with a free
+	// worker lends it outside the submission ledger (serve.PoolCore.Hedge)
+	// and races the primary. The dispatch pool stays the accounting owner
+	// — a winning hedge completes the primary's ledger and frees the
+	// primary's worker; the loser's event only returns the borrowed one.
+	// One hedge per execution.
+	tryHedge = func(ex *splitExec) {
+		if ex.done || ex.cancelled || ex.hedged {
+			return
+		}
+		ex.hedged = true
+		for j := 0; j < mc.Pools(); j++ {
+			if j == ex.pool || !mc.Healthy(j) || !mc.Pool(j).Hedge() {
+				continue
+			}
+			st.HedgesFired++
+			hr := &hedgeRun{pool: j}
+			if faultsOn {
+				hedges = append(hedges, hr)
+			}
+			hclass := mc.Spec(j).Class
+			hname := mc.Spec(j).Name
+			helapsed := pricing.service(cfg, rng, ex.task, hclass)
+			engine.After(helapsed, func() {
+				hr.finished = true
+				mc.Pool(hr.pool).HedgeDone()
+				if hr.cancelled || ex.done || ex.cancelled {
+					pump()
+					return
+				}
+				ex.done = true
+				st.HedgesWon++
+				mc.Complete(ex.pool, 1)
+				pricing.observe(ex.task.Payload, hclass, helapsed)
+				st.Completed++
+				st.Served[hname]++
+				st.observeLatency(engine.Now()-ex.task.Arrived, cfg.SLO)
+				pump()
+			})
+			return
+		}
+	}
+
+	// applyFault drives the scripted schedule. A pool-down cancels the
+	// pool's in-flight executions one by one — each Requeue frees exactly
+	// the one worker its dispatch occupied and returns its task by arrival
+	// order — and cancels hedges the dead pool was hosting. A pool-up
+	// resumes dispatch at the pre-fault capacity. Both re-pump: peers
+	// steal orphans the moment they exist, and a recovered pool drains its
+	// preserved backlog.
+	applyFault := func(ev trace.FaultEvent) {
+		now := engine.Now()
+		i := mc.Index(ev.Target)
+		if ev.Kind == trace.FaultPoolUp {
+			mc.RecoverPool(i, now)
+			pump()
+			return
+		}
+		if !mc.Healthy(i) {
+			return
+		}
+		mc.FailPool(i, now)
+		keptE := inflight[:0]
+		for _, ex := range inflight {
+			if ex.done || ex.cancelled {
+				continue
+			}
+			if ex.pool == i {
+				ex.cancelled = true
+				mc.Requeue(i, []sched.HybridTask{ex.task})
+				continue
+			}
+			keptE = append(keptE, ex)
+		}
+		inflight = keptE
+		keptH := hedges[:0]
+		for _, hr := range hedges {
+			if hr.finished || hr.cancelled {
+				continue
+			}
+			if hr.pool == i {
+				hr.cancelled = true
+				continue
+			}
+			keptH = append(keptH, hr)
+		}
+		hedges = keptH
+		pump()
+	}
+	for _, ev := range cfg.Faults {
+		ev := ev
+		engine.At(ev.At, func() { applyFault(ev) })
+	}
+
 	// spillTarget picks the CPU pool an over-threshold (or over-wait)
 	// arrival lands on: least-queued under the static threshold,
 	// least-wait under adaptive balance (serve.MultiCore.BalanceTarget).
+	// A dead accelerated tier reroutes arrivals to the least-queued
+	// healthy CPU pool whenever any balancing is armed — the same
+	// dead-pool reroute the live engine's enqueue applies.
 	spillTarget := func() (int, bool) {
+		if !mc.Healthy(dscsIdx) && (cfg.AdaptiveBalance || cfg.SpilloverThreshold > 0) {
+			best, depth, found := 0, 0, false
+			for i := 0; i < dscsIdx; i++ {
+				if !mc.Healthy(i) {
+					continue
+				}
+				if d := mc.Pool(i).QueueLen(); !found || d < depth {
+					best, depth, found = i, d, true
+				}
+			}
+			return best, found
+		}
 		if cfg.AdaptiveBalance {
 			return mc.BalanceTarget(dscsIdx, onlyCPU)
 		}
@@ -582,6 +820,9 @@ func runSplitHybrid(tr *trace.Trace, cfg HybridConfig, seed uint64) (*HybridStat
 	engine.Run()
 	st.Dropped = mc.Dropped()
 	st.Stolen = mc.Stolen()
+	st.Faults = mc.Faults()
+	st.Requeued = mc.Requeued()
+	st.Stranded = mc.QueueLen()
 	st.WaitP95 = make(map[string]time.Duration, mc.Pools())
 	for i := 0; i < mc.Pools(); i++ {
 		st.WaitP95[mc.Spec(i).Name] = mc.WaitQuantileOf(i, serve.WaitQuantile)
@@ -616,10 +857,13 @@ func sampleHybridQueue(engine *sim.Engine, tr *trace.Trace, cfg HybridConfig, st
 	}
 }
 
-// finishHybrid asserts the run lost nothing.
+// finishHybrid asserts the run lost nothing: every arrival completed, was
+// dropped at a queue bound, or — only when a fault script left a pool dead
+// at the horizon — is still queued and counted stranded.
 func finishHybrid(tr *trace.Trace, st *HybridStats) error {
-	if st.Completed+st.Dropped != len(tr.Requests) {
-		return fmt.Errorf("cluster: hybrid lost requests")
+	if st.Completed+st.Dropped+st.Stranded != len(tr.Requests) {
+		return fmt.Errorf("cluster: hybrid lost requests: %d completed + %d dropped + %d stranded != %d arrived",
+			st.Completed, st.Dropped, st.Stranded, len(tr.Requests))
 	}
 	return nil
 }

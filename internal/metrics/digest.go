@@ -463,6 +463,12 @@ func (l *Latch) Above(live, static time.Duration) bool {
 // Flips counts the latch's state toggles — the no-flapping tests pin it.
 func (l *Latch) Flips() int64 { return l.flips }
 
+// Reset releases the latch without counting a flip. Pool-death
+// invalidation uses it: a latch armed by a now-dead pool's wait history
+// prices a world that no longer exists, and releasing it is forgetting,
+// not a hysteresis transition the flapping tests should see.
+func (l *Latch) Reset() { l.live = false }
+
 // Flips counts adoption-latch toggles — the no-flapping tests pin it.
 func (d *Digest) Flips() int64 {
 	d.mu.Lock()

@@ -319,3 +319,23 @@ func TestBlendPullsTowardObservation(t *testing.T) {
 		t.Fatalf("64-obs blend = %v, want %v", many, want)
 	}
 }
+
+// TestLatchReset: releasing a latch on pool death is forgetting, not a
+// hysteresis transition — the flip counter must not move, and the next
+// arming pays the full AdoptEnterRatio again.
+func TestLatchReset(t *testing.T) {
+	var l Latch
+	if !l.Above(30*time.Millisecond, 10*time.Millisecond) {
+		t.Fatal("3x gap must arm the latch")
+	}
+	flips := l.Flips()
+	l.Reset()
+	if l.Flips() != flips {
+		t.Fatalf("Reset counted a flip: %d -> %d", flips, l.Flips())
+	}
+	// 1.3x is above AdoptExitRatio (would have held an armed latch) but
+	// below AdoptEnterRatio: after Reset it must NOT re-arm.
+	if l.Above(13*time.Millisecond, 10*time.Millisecond) {
+		t.Fatal("reset latch re-armed below the entry ratio")
+	}
+}

@@ -127,6 +127,21 @@ func (s *Store) ReReplicate(failedID string) (chunks int, moved units.Bytes, err
 			if idx < 0 {
 				continue
 			}
+			// A repair is a copy, and a copy needs a healthy source: with
+			// every surviving replica of this chunk also down there is
+			// nothing to read from, and "repairing" anyway would fabricate
+			// a replica out of thin air.
+			source := false
+			for id := range holders {
+				if id != failed.ID && s.byID[id].healthy() {
+					source = true
+					break
+				}
+			}
+			if !source {
+				return chunks, moved, fmt.Errorf(
+					"objstore: no healthy source replica of %q chunk %d to repair from", obj.Key, chunk.Index)
+			}
 			target := s.pickRepairTarget(obj, holders)
 			if target == nil {
 				return chunks, moved, fmt.Errorf(

@@ -130,3 +130,95 @@ func TestReReplicateUnknownNode(t *testing.T) {
 		t.Fatal("unknown node must error")
 	}
 }
+
+// TestRepairOverFailRecoverSequences drives ReReplicate after interleaved
+// FailNode/RecoverNode sequences and pins the repair-target contract:
+// the chosen target is healthy and not already a holder, and a chunk
+// whose every surviving replica is down is an error — not a "repair"
+// fabricated from nothing (the latent bug this table caught: nothing
+// checked a healthy *source* existed before copying).
+func TestRepairOverFailRecoverSequences(t *testing.T) {
+	type step struct {
+		holder  int  // index into the chunk's replica holders; -1 = a healthy spare
+		recover bool // false = fail
+	}
+	cases := []struct {
+		name    string
+		steps   []step
+		repair  int // holder index handed to ReReplicate
+		wantErr bool
+	}{
+		{"single holder lost", []step{{0, false}}, 0, false},
+		{"recovered peer is a valid source", []step{{0, false}, {1, false}, {1, true}}, 0, false},
+		{"dead spare never selected", []step{{0, false}, {-1, false}}, 0, false},
+		{"all holders down: no source to copy from", []step{{0, false}, {1, false}, {2, false}}, 0, true},
+		{"source recovered after total loss", []step{{0, false}, {1, false}, {2, false}, {1, true}}, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := testStore(t, 4, 2)
+			if _, err := s.Put("k", units.MB, true); err != nil {
+				t.Fatal(err)
+			}
+			obj, _ := s.Lookup("k")
+			var holders []string
+			holderSet := map[string]bool{}
+			for _, rep := range obj.Chunks[0].Replicas {
+				holders = append(holders, rep.NodeID)
+				holderSet[rep.NodeID] = true
+			}
+			spare := ""
+			for _, id := range []string{"ssd-a", "ssd-b", "ssd-c", "ssd-d", "dscs-a", "dscs-b"} {
+				if !holderSet[id] {
+					spare = id
+					break
+				}
+			}
+			downSpare := false
+			for _, st := range c.steps {
+				id := spare
+				if st.holder >= 0 {
+					id = holders[st.holder]
+				} else {
+					downSpare = !st.recover
+				}
+				var err error
+				if st.recover {
+					err = s.RecoverNode(id)
+				} else {
+					err = s.FailNode(id)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			_, _, err := s.ReReplicate(holders[c.repair])
+			if c.wantErr {
+				if err == nil {
+					t.Fatal("repair with every source replica down must error")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("repair: %v", err)
+			}
+			obj, _ = s.Lookup("k")
+			for _, chunk := range obj.Chunks {
+				seen := map[string]bool{}
+				for _, rep := range chunk.Replicas {
+					if seen[rep.NodeID] {
+						t.Fatalf("chunk %d repaired onto a node already holding it (%s)", chunk.Index, rep.NodeID)
+					}
+					seen[rep.NodeID] = true
+					if rep.NodeID == holders[c.repair] {
+						t.Fatalf("chunk %d still replicated on the failed node", chunk.Index)
+					}
+					if downSpare && rep.NodeID == spare {
+						t.Fatalf("chunk %d repaired onto the dead spare %s", chunk.Index, spare)
+					}
+				}
+			}
+		})
+	}
+}

@@ -294,6 +294,18 @@ func (q *HybridQueue) Restore(t HybridTask) {
 	q.tasks[at] = t
 }
 
+// RestoreAll reinserts a batch of removed tasks — the requeue op for
+// in-flight work orphaned by a killed worker. Each task lands by
+// (Arrived, ID), so arrival order and the AgingMultiple starvation bound
+// survive a requeue regardless of how the batch was grouped. Batches
+// arrive oldest-first (dispatch order); inserting back-to-front lets the
+// older tasks take Restore's O(1) dead-prefix fast path.
+func (q *HybridQueue) RestoreAll(tasks []HybridTask) {
+	for i := len(tasks) - 1; i >= 0; i-- {
+		q.Restore(tasks[i])
+	}
+}
+
 // FCFSPolicy is the deployed policy: head of line, any class.
 type FCFSPolicy struct{}
 

@@ -82,6 +82,39 @@ func TestRestoreKeepsArrivalOrder(t *testing.T) {
 	}
 }
 
+// TestRestoreAllRequeue pins the requeue op: an in-flight batch returned
+// by a killed worker re-enters by (Arrived, ID) even when younger work
+// arrived behind it, the admission bound never drops a requeue, and a
+// batch larger than the dead prefix still lands fully ordered.
+func TestRestoreAllRequeue(t *testing.T) {
+	q, _ := NewHybridQueue(4)
+	mk := func(id int, at time.Duration) HybridTask {
+		return HybridTask{ID: id, Arrived: at, Payload: "t"}
+	}
+	mustSubmit(t, q, mk(0, 0), mk(1, 10*time.Millisecond))
+
+	// Tasks 0 and 1 were dispatched together and their worker was killed;
+	// meanwhile tasks 2–4 arrived. The requeued batch must slot ahead of
+	// everything younger.
+	batch := []HybridTask{q.removeAt(0), q.removeAt(0)}
+	mustSubmit(t, q, mk(2, 20*time.Millisecond), mk(3, 30*time.Millisecond), mk(4, 40*time.Millisecond))
+	q.RestoreAll(batch)
+
+	// 5 tasks now live in a queue bounded at 4: requeues bypass admission.
+	if q.Len() != 5 {
+		t.Fatalf("len = %d after requeue, want 5", q.Len())
+	}
+	for want := 0; want < 5; want++ {
+		got, ok := FCFSPolicy{}.Pick(q, ClassCPU, 0)
+		if !ok || got.ID != want {
+			t.Fatalf("pick %d: id=%d ok=%v", want, got.ID, ok)
+		}
+	}
+	if q.RestoreAll(nil); q.Len() != 0 {
+		t.Fatal("empty requeue must be a no-op")
+	}
+}
+
 // TestRestoredHeadStillAges pins the steal/restore contract that matters
 // for starvation: a task moved between queues keeps its arrival instant,
 // so the aging bound fires on the destination exactly as it would have on

@@ -51,6 +51,26 @@ type PoolCore struct {
 	// track the lifecycle's warm count instead of staying fixed at
 	// construction. Nil keeps the fixed-pool behavior bit-identical.
 	lc *Lifecycle
+	// dead marks a browned-out pool. The queue is the durable half (it
+	// keeps admitting and holding work, like a safekeeper's log); the
+	// workers are the ephemeral half — dispatch is gated off and in-flight
+	// work is expected back via Requeue. Capacity accounting (total/free)
+	// is untouched so recovery resumes at the pre-fault size.
+	dead bool
+	// faults counts Fail transitions; requeued counts tasks returned to
+	// the queue by Requeue.
+	faults, requeued int
+	// overRequeued counts Requeue calls that arrived with every worker
+	// already free — a caller bug (double-requeue of one execution) that
+	// Conservation surfaces instead of clamping away, mirroring
+	// overCompleted.
+	overRequeued int
+	// hedging counts workers currently occupied by hedged duplicate
+	// dispatches. A hedge borrows a free worker without touching the
+	// submission ledger: the original pool stays the accounting owner of
+	// the request, so Conservation sums are unaffected. overHedged counts
+	// HedgeDone calls with no hedge outstanding.
+	hedging, hedges, overHedged int
 }
 
 // NewPoolCore builds a pool of the given worker count and admission bound.
@@ -126,6 +146,101 @@ func (c *PoolCore) ScaleTo(desired int, now time.Duration) bool {
 	return c.AdvanceLifecycle(now)
 }
 
+// Fail browns the pool out at now: dispatch (and hedging, and stealing
+// into it) stops, the queue keeps admitting and holding work, and an
+// attached lifecycle is quenched — pending warming slots are cancelled so
+// no timer resurrects capacity into a dead pool, and idle slots stop
+// lingering toward suspension. Idempotent while dead.
+func (c *PoolCore) Fail(now time.Duration) {
+	if c.dead {
+		return
+	}
+	c.dead = true
+	c.faults++
+	if c.lc != nil {
+		c.AdvanceLifecycle(now)
+		c.lc.Quench(now)
+		c.AdvanceLifecycle(now)
+	}
+}
+
+// Recover ends a brown-out at now. An attached lifecycle is unquenched:
+// capacity lost to the quench re-warms toward the desired size, paying
+// cold starts. Idempotent while healthy.
+func (c *PoolCore) Recover(now time.Duration) {
+	if !c.dead {
+		return
+	}
+	c.dead = false
+	if c.lc != nil {
+		c.lc.Unquench(now)
+		c.AdvanceLifecycle(now)
+	}
+}
+
+// Healthy reports whether the pool is dispatching (not browned out).
+func (c *PoolCore) Healthy() bool { return !c.dead }
+
+// Faults counts Fail transitions.
+func (c *PoolCore) Faults() int { return c.faults }
+
+// Requeued counts tasks returned to the queue by Requeue.
+func (c *PoolCore) Requeued() int { return c.requeued }
+
+// Requeue returns one execution's in-flight tasks to the queue — the
+// at-most-once completion path for work orphaned by a killed worker. The
+// execution's worker is freed (guarded exactly like Complete: a second
+// Requeue of the same execution is counted, not clamped) and the tasks
+// re-enter by (Arrived, ID), bypassing the admission bound — a fault must
+// never turn into a drop. The submission ledger is untouched: the tasks
+// were admitted once and are still owed exactly one completion.
+// A batch former attached to the pool is NOT re-observed here; callers
+// that form batches re-Observe the tasks themselves (weights differ by
+// caller).
+func (c *PoolCore) Requeue(tasks []sched.HybridTask) {
+	if len(tasks) == 0 {
+		return
+	}
+	if c.free < c.total {
+		c.free++
+	} else {
+		c.overRequeued++
+	}
+	c.running -= len(tasks)
+	c.requeued += len(tasks)
+	c.queue.RestoreAll(tasks)
+}
+
+// Hedge borrows a free worker for a hedged duplicate dispatch. It fails
+// on a dead pool or with no worker free. The borrow is outside the
+// submission ledger — the original pool remains the accounting owner of
+// the hedged request — so Conservation's sums never see it; only the
+// worker occupancy does, released by HedgeDone whether the hedge won or
+// lost.
+func (c *PoolCore) Hedge() bool {
+	if c.dead || c.free == 0 {
+		return false
+	}
+	c.free--
+	c.hedging++
+	c.hedges++
+	return true
+}
+
+// HedgeDone releases a worker borrowed by Hedge. A release with no hedge
+// outstanding is a caller bug surfaced by Conservation.
+func (c *PoolCore) HedgeDone() {
+	if c.hedging <= 0 {
+		c.overHedged++
+		return
+	}
+	c.hedging--
+	c.free++
+}
+
+// Hedges counts Hedge borrows granted.
+func (c *PoolCore) Hedges() int { return c.hedges }
+
 // AttachFormer gives the pool a queue-level batch former; DispatchFormed
 // consults it. Callers must then Observe every admitted task on it.
 func (c *PoolCore) AttachFormer(f *BatchFormer) { c.former = f }
@@ -147,7 +262,7 @@ func (c *PoolCore) Submit(t sched.HybridTask) bool {
 // the simulator) on the same basis as HybridTask.Arrived; the policies use
 // it for starvation aging.
 func (c *PoolCore) Dispatch(now time.Duration) (sched.HybridTask, bool) {
-	if c.free == 0 {
+	if c.free == 0 || c.dead {
 		return sched.HybridTask{}, false
 	}
 	t, ok := c.policy.Pick(c.queue, c.class, now)
@@ -173,7 +288,7 @@ func (c *PoolCore) DispatchFormed(now time.Duration) (t sched.HybridTask, ok boo
 		t, ok = c.Dispatch(now)
 		return t, ok, 0, false
 	}
-	if c.free == 0 {
+	if c.free == 0 || c.dead {
 		return sched.HybridTask{}, false, 0, false
 	}
 	pick, ok := c.policy.Pick(c.queue, c.class, now)
@@ -220,7 +335,9 @@ func (c *PoolCore) DispatchFormed(now time.Duration) (t sched.HybridTask, ok boo
 // batch former sheds them. The move is capped at the thief's queue room —
 // a rebalance must never turn into a drop. It returns the moved tasks.
 func (c *PoolCore) StealFrom(donor *PoolCore, max int) []sched.HybridTask {
-	if donor == nil || donor == c || donor.queue == c.queue {
+	if donor == nil || donor == c || donor.queue == c.queue || c.dead {
+		// A dead thief must not import work into a grave; a dead donor is
+		// fine — stealing from it is how its backlog gets rescued.
 		return nil
 	}
 	if room := c.queue.Room(); max > room {
@@ -297,15 +414,27 @@ func (c *PoolCore) Completed() int { return c.completed }
 func (c *PoolCore) OverCompleted() int { return c.overCompleted }
 
 // Conservation checks the bookkeeping invariant: every admitted task is
-// queued, executing, or completed, no Complete arrived without a matching
-// Dispatch, and no execution retired more tasks than were assigned to it.
+// queued, executing, completed, or requeued-then-owed-a-completion —
+// exactly once. No Complete arrived without a matching Dispatch, no
+// execution retired more tasks than were assigned to it, no execution was
+// requeued twice, and hedge borrows all went back.
 func (c *PoolCore) Conservation() error {
 	if c.overCompleted > 0 {
 		return fmt.Errorf("serve: conservation violated: %d completions with no busy worker (double-complete)",
 			c.overCompleted)
 	}
+	if c.overRequeued > 0 {
+		return fmt.Errorf("serve: conservation violated: %d requeues with no busy worker (double-requeue)",
+			c.overRequeued)
+	}
+	if c.overHedged > 0 {
+		return fmt.Errorf("serve: conservation violated: %d hedge releases with no hedge outstanding", c.overHedged)
+	}
 	if c.running < 0 {
 		return fmt.Errorf("serve: conservation violated: %d tasks running (over-complete)", c.running)
+	}
+	if c.free > c.total {
+		return fmt.Errorf("serve: conservation violated: %d workers free of %d total", c.free, c.total)
 	}
 	if c.sharedQueue {
 		return nil // the submission balance is checked by the HybridCore

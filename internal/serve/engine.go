@@ -29,6 +29,7 @@ import (
 	"dscs/internal/platform"
 	"dscs/internal/scale"
 	"dscs/internal/sched"
+	"dscs/internal/trace"
 	"dscs/internal/workload"
 )
 
@@ -156,6 +157,17 @@ type Options struct {
 	// harness injects a no-op here to measure the scheduling hot path
 	// without the simulated execution cost. Nil runs Runner.Invoke.
 	Execute func(r *faas.Runner, b *workload.Benchmark, opt faas.Options) (faas.Result, error)
+	// HedgeFactor arms hedged dispatch when >= 1: an execution that has run
+	// longer than HedgeFactor x the adopted service-p95 for its benchmark on
+	// its pool gets a second dispatch on a healthy peer. The first completion
+	// wins; the loser's result is discarded (counted under
+	// serve_hedges_fired_total / serve_hedges_won_total). 0 disables.
+	HedgeFactor float64
+	// Faults schedules fault injection on the engine's live clock: each
+	// event fires At after NewEngine returns, killing or recovering the
+	// named pool or drive (trace.ParseFaultScript builds the slice from the
+	// -fault-script CLI spelling). Targets are validated at construction.
+	Faults []trace.FaultEvent
 }
 
 // withDefaults fills unset options.
@@ -273,6 +285,12 @@ type pool struct {
 	// the staged entry or the submitter sees the parked worker — an entry
 	// can never strand against a sleeping pool.
 	parked atomic.Int32
+
+	// deadBit mirrors core.dead for lock-free readers: the submit path's
+	// rescue wakeup and the spill/steal scans check health without taking
+	// p.mu. Written only under p.mu (FailPool/RecoverPool/Close), so it is
+	// always coherent with the core's transitions.
+	deadBit atomic.Bool
 
 	// autoscaler produces the pool's desired warm capacity (nil for a
 	// classic fixed pool); lifeTimer wakes the pool at the lifecycle's
@@ -474,6 +492,15 @@ type Engine struct {
 	cSpillAll    sched.CounterHandle
 	cDriveWait   sched.CounterHandle
 	cColdAll     sched.CounterHandle
+	// Failure-path counters: injected faults, batches returned to their
+	// queue by a mid-execution pool death, hedged dispatches fired and won.
+	cFaults      sched.CounterHandle
+	cRequeues    sched.CounterHandle
+	cHedgesFired sched.CounterHandle
+	cHedgesWon   sched.CounterHandle
+	// faultTimers are the armed Options.Faults injections; Close stops them
+	// so a scripted fault never fires into a drained engine.
+	faultTimers []*time.Timer
 	// Per-drive occupancy handles, indexed like drives.ids.
 	driveBusy []sched.GaugeHandle
 	driveAcq  []sched.CounterHandle
@@ -517,6 +544,11 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("serve: negative MaxWorkers %d", opt.MaxWorkers)
 	} else if opt.Prewarm || opt.MinWorkers != 0 || opt.ColdStart != 0 || opt.IdleLinger != 0 {
 		return nil, fmt.Errorf("serve: elastic options need MaxWorkers > 0")
+	}
+	if opt.HedgeFactor != 0 && opt.HedgeFactor < 1 {
+		// A sub-1 factor would hedge before the expected service time has
+		// even elapsed — every request would fork.
+		return nil, fmt.Errorf("serve: HedgeFactor %g must be 0 (disabled) or >= 1", opt.HedgeFactor)
 	}
 	e := &Engine{
 		opt:     opt,
@@ -672,11 +704,26 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 	e.cSpillAll = e.tel.CounterHandle("serve_spillover_total")
 	e.cDriveWait = e.tel.CounterHandle("serve_drive_contention_total")
 	e.cColdAll = e.tel.CounterHandle("serve_cold_starts_total")
+	e.cFaults = e.tel.CounterHandle("serve_faults_total")
+	e.cRequeues = e.tel.CounterHandle("serve_requeues_total")
+	e.cHedgesFired = e.tel.CounterHandle("serve_hedges_fired_total")
+	e.cHedgesWon = e.tel.CounterHandle("serve_hedges_won_total")
+	if len(opt.Faults) > 0 || opt.HedgeFactor >= 1 {
+		// Register up front so /metrics shows the failure machinery is
+		// armed before the first fault fires or hedge forks.
+		e.tel.Inc("serve_faults_total", 0)
+		e.tel.Inc("serve_requeues_total", 0)
+		e.tel.Inc("serve_hedges_fired_total", 0)
+		e.tel.Inc("serve_hedges_won_total", 0)
+	}
 	e.exec = opt.Execute
 	if e.exec == nil {
 		e.exec = func(r *faas.Runner, b *workload.Benchmark, o faas.Options) (faas.Result, error) {
 			return r.Invoke(b, o)
 		}
+	}
+	if err := e.validateFaults(opt.Faults); err != nil {
+		return nil, err
 	}
 	for _, p := range e.pools {
 		// With the elastic lifecycle every slot gets a goroutine up front;
@@ -690,6 +737,13 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 			e.wg.Add(1)
 			go e.worker(p)
 		}
+	}
+	// Arm the fault script last: an injection must never observe a
+	// half-constructed engine.
+	for _, ev := range opt.Faults {
+		ev := ev
+		e.faultTimers = append(e.faultTimers,
+			time.AfterFunc(ev.At, func() { e.applyFault(ev) }))
 	}
 	return e, nil
 }
@@ -803,11 +857,18 @@ func coalescable(a, b faas.Options) bool {
 // (ties broken by name).
 func (e *Engine) spillTarget() *pool {
 	if e.opt.SpilloverTo != "" {
-		return e.pools[e.opt.SpilloverTo]
+		if t := e.pools[e.opt.SpilloverTo]; e.poolHealthy(t) {
+			return t
+		}
+		// The named target is down; fall through to the least-queued scan
+		// rather than spill into a pool that cannot dispatch.
 	}
 	var best *pool
 	bestDepth := 0
 	for _, c := range e.spillCPU {
+		if !e.poolHealthy(c) {
+			continue
+		}
 		depth := e.poolDepth(c)
 		if best == nil || depth < bestDepth {
 			best, bestDepth = c, depth
@@ -848,7 +909,7 @@ func (e *Engine) advanceElasticLocked(p *pool) bool {
 	}
 	now := e.now()
 	changed := p.core.AdvanceLifecycle(now)
-	if a := p.autoscaler; a != nil && !p.closed {
+	if a := p.autoscaler; a != nil && !p.closed && p.core.Healthy() {
 		starved := p.core.QueueLen() > 0 && p.core.Busy() >= p.core.Workers()
 		if starved || now-p.scaleAt >= scaleDecideInterval {
 			p.scaleAt = now
@@ -1073,6 +1134,18 @@ func (e *Engine) admitDirect(p *pool, task sched.HybridTask, req *request, bounc
 // past the depth count; adaptive balance wakes every peer via the shared
 // latch-precondition gate.
 func (e *Engine) wakePeers(p *pool, depth int) {
+	if depth > 0 && p.deadBit.Load() {
+		// Work admitted to a dead pool drains only by rescue: neither the
+		// static depth gate nor the warmed-digest gate below can fire for
+		// it (its digest was invalidated at death), so wake every peer
+		// directly — a parked worker elsewhere is this backlog's only exit.
+		for _, d := range e.pools {
+			if d != p {
+				d.cond.Signal()
+			}
+		}
+		return
+	}
 	if e.opt.AdaptiveBalance {
 		e.signalPeersForBalance(p, depth > 0)
 	} else if e.opt.StealThreshold > 0 && depth > e.opt.StealThreshold {
@@ -1187,6 +1260,15 @@ func (e *Engine) enqueue(platformName string, b *workload.Benchmark, opt faas.Op
 	target, spilled := p, false
 	if p.class == sched.ClassDSCS {
 		switch {
+		case !e.poolHealthy(p) && (e.opt.AdaptiveBalance || e.opt.SpilloverThreshold > 0):
+			// The home pool is dead: with rebalancing armed, reroute
+			// unconditionally — no depth or wait gap needed, anything
+			// admitted here waits for recovery or rescue. (Without
+			// rebalancing the submission queues on the dead pool, the
+			// degraded mode an operator chose by running isolated pools.)
+			if t := e.spillTarget(); t != nil && t != p {
+				target, spilled = t, true
+			}
 		case e.opt.AdaptiveBalance:
 			// Wait-keyed spillover: reroute once this pool's adopted
 			// wait-p95 has latched above the spill target's — queue delay,
@@ -1267,6 +1349,10 @@ type batchState struct {
 	payload string
 	batch   int // combined model batch
 	budget  int // remaining model-batch budget toward MaxBatch
+	// tasks mirrors reqs with the dispatched queue tasks themselves: the
+	// requeue path needs the original HybridTasks (arrival stamps, pricing)
+	// to return in-flight work to the queue when the pool dies mid-batch.
+	tasks []sched.HybridTask
 	// waits holds the batch's clamped queue delays, computed once at
 	// dispatch (recordWaits) and reused by the delivery loop — the digest
 	// staging and the per-request outcomes read the same values.
@@ -1283,6 +1369,8 @@ var batchPool = sync.Pool{New: func() any {
 func putBatch(bs *batchState) {
 	clear(bs.reqs)
 	bs.reqs = bs.reqs[:0]
+	clear(bs.tasks)
+	bs.tasks = bs.tasks[:0]
 	bs.waits = bs.waits[:0]
 	bs.lead, bs.payload, bs.batch, bs.budget = nil, "", 0, 0
 	batchPool.Put(bs)
@@ -1296,6 +1384,7 @@ func (e *Engine) newBatch(p *pool, task sched.HybridTask) *batchState {
 	bs := batchPool.Get().(*batchState)
 	bs.lead, bs.payload = lead, task.Payload
 	bs.reqs = append(bs.reqs[:0], lead)
+	bs.tasks = append(bs.tasks[:0], task)
 	bs.batch = reqBatch(lead.opt)
 	bs.budget = e.opt.MaxBatch - bs.batch
 	e.gather(p, bs)
@@ -1328,6 +1417,7 @@ func (e *Engine) gather(p *pool, bs *batchState) int {
 	for _, t := range taken {
 		r := t.Ref.(*request)
 		bs.reqs = append(bs.reqs, r)
+		bs.tasks = append(bs.tasks, t)
 		bs.batch += reqBatch(r.opt)
 	}
 	bs.budget = budget
@@ -1369,10 +1459,17 @@ func (e *Engine) waitDigestOf(p *pool) *metrics.Digest {
 // worker) serves new work immediately and prices at zero, whatever its
 // digest holds (its recorded waits may be history it imported rescuing
 // the very donor asking). The MultiCore peerWait pricing, on engine pools.
+//
+// The health bit is checked before the idle fast path: a dead pool is the
+// textbook "idle" — empty-looking queue, free workers — but work priced
+// onto it waits for its recovery, not zero. Callers skip dead pools
+// outright; the gate here keeps the zero-price shortcut from ever
+// answering for one.
 func (e *Engine) pricedWait(p *pool) time.Duration {
 	p.mu.Lock()
+	healthy := p.core.Healthy()
 	staged := p.ingress != nil && p.ingress.staged.Load() > 0
-	idle := !staged && p.core.QueueLen() == 0 && p.core.Busy() < p.core.Workers()
+	idle := healthy && !staged && p.core.QueueLen() == 0 && p.core.Busy() < p.core.Workers()
 	p.mu.Unlock()
 	if idle {
 		return 0
@@ -1383,6 +1480,15 @@ func (e *Engine) pricedWait(p *pool) time.Duration {
 	return 0
 }
 
+// poolHealthy reads a pool's health bit — the engine-side spelling of
+// MultiCore.Healthy for the spill/steal/hedge scans. It reads the lock-free
+// mirror: rebalancing decisions must not serialize on the pool mutexes
+// they are routing around (decision paths holding p.mu read the core
+// directly).
+func (e *Engine) poolHealthy(p *pool) bool {
+	return !p.deadBit.Load()
+}
+
 // adaptiveSpillTarget picks the CPU-class pool a wait-keyed spill lands
 // on: the configured SpilloverTo pool, or the peer with the lowest priced
 // wait — mirroring MultiCore.BalanceTarget, where ranking by queue depth
@@ -1391,11 +1497,18 @@ func (e *Engine) pricedWait(p *pool) time.Duration {
 // name-sorted and the strict < keeps the first.
 func (e *Engine) adaptiveSpillTarget() *pool {
 	if e.opt.SpilloverTo != "" {
-		return e.pools[e.opt.SpilloverTo]
+		if t := e.pools[e.opt.SpilloverTo]; e.poolHealthy(t) {
+			return t
+		}
+		// The named target is down; fall through to the scan rather than
+		// spill into a pool that cannot dispatch.
 	}
 	var best *pool
 	var bestWait time.Duration
 	for _, c := range e.spillCPU {
+		if !e.poolHealthy(c) {
+			continue
+		}
 		if w := e.pricedWait(c); best == nil || w < bestWait {
 			best, bestWait = c, w
 		}
@@ -1410,6 +1523,10 @@ func (e *Engine) adaptiveSpillTarget() *pool {
 // ratio comparison — nanoseconds, far below the pool mutexes already on
 // this path.
 func (e *Engine) waitGapToPool(donor, peer *pool) bool {
+	if !e.poolHealthy(peer) {
+		// Work never rebalances onto a dead pool, whatever the gap says.
+		return false
+	}
 	peerWait := e.pricedWait(peer)
 	e.balanceMu.Lock()
 	defer e.balanceMu.Unlock()
@@ -1440,6 +1557,11 @@ func (e *Engine) waitWarmed(p *pool) bool {
 // lock order), so two pools stealing from each other cannot deadlock. It
 // returns how many requests moved; p.mu is held again on return.
 func (e *Engine) stealInto(p *pool) int {
+	if !p.core.Healthy() {
+		// A dead thief cannot dispatch what it steals; rescued work would
+		// just be buried in a second dead queue.
+		return 0
+	}
 	p.mu.Unlock()
 	var donor *pool
 	if e.opt.AdaptiveBalance {
@@ -1449,7 +1571,13 @@ func (e *Engine) stealInto(p *pool) int {
 				continue
 			}
 			depth := e.poolDepth(d)
-			if depth == 0 || !e.waitGapToPool(d, p) {
+			if depth == 0 {
+				continue
+			}
+			// A dead donor's backlog drains only by rescue — no latch or
+			// wait gap required; its digest was invalidated at death and
+			// could never trip one anyway.
+			if e.poolHealthy(d) && !e.waitGapToPool(d, p) {
 				continue
 			}
 			if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
@@ -1457,12 +1585,21 @@ func (e *Engine) stealInto(p *pool) int {
 			}
 		}
 	} else {
-		deepest := e.opt.StealThreshold
+		deepest := 0
 		for _, d := range e.pools {
-			if d == p || d.class == p.class {
+			if d == p {
+				continue
+			}
+			alive := e.poolHealthy(d)
+			if alive && d.class == p.class {
+				// Live same-class pools rebalance only adaptively; a dead
+				// pool's backlog is rescued regardless of class.
 				continue
 			}
 			depth := e.poolDepth(d)
+			if depth == 0 || (alive && depth <= e.opt.StealThreshold) {
+				continue
+			}
 			if depth > deepest || (depth == deepest && donor != nil && d.name < donor.name) {
 				donor, deepest = d, depth
 			}
@@ -1488,10 +1625,10 @@ func (e *Engine) stealInto(p *pool) int {
 	// itself is not re-checked — it just tripped, and hysteresis means a
 	// single completion cannot have released it.)
 	floor := e.opt.StealThreshold
-	if e.opt.AdaptiveBalance {
+	if e.opt.AdaptiveBalance || !donor.core.Healthy() {
 		floor = 0
 	}
-	if !p.closed && !donor.closed && donor.core.QueueLen() > floor {
+	if !p.closed && !donor.closed && p.core.Healthy() && donor.core.QueueLen() > floor {
 		tasks := p.core.StealFrom(donor.core, e.opt.MaxBatch)
 		for _, t := range tasks {
 			// The request rides the task's Ref across the move; only the
@@ -1575,7 +1712,13 @@ func (e *Engine) worker(p *pool) {
 				p.mu.Unlock()
 				return
 			}
-			if e.opt.StealThreshold > 0 || e.opt.AdaptiveBalance {
+			// A dead pool's worker parks straight away: its dispatch can
+			// never succeed, stealing into it would bury rescued work, and
+			// re-checking its (undrainable) backlog would spin this loop
+			// without ever releasing p.mu — starving the very peers trying
+			// to lock the pool and rescue that backlog. FailPool/RecoverPool
+			// broadcast, so the park always wakes on a health transition.
+			if p.core.Healthy() && (e.opt.StealThreshold > 0 || e.opt.AdaptiveBalance) {
 				stole := e.stealInto(p)
 				// Re-check before parking: stealInto dropped p.mu, so a
 				// submission may have signaled into the gap and its wakeup
@@ -1661,7 +1804,7 @@ func (e *Engine) worker(p *pool) {
 
 		opt := lead.opt
 		opt.Batch = bs.batch
-		res, err := e.exec(p.runner, lead.bench, opt)
+		res, err := e.execHedged(p, lead.bench, opt, bs.payload)
 
 		if drive >= 0 {
 			e.driveBusy[drive].Set(0)
@@ -1669,6 +1812,34 @@ func (e *Engine) worker(p *pool) {
 		}
 
 		p.mu.Lock()
+		if !p.core.Healthy() && !p.closed {
+			// The pool died while this batch was executing. The execution's
+			// result is void — a killed worker delivers nothing — but the
+			// requests are still owed exactly one delivery each, so the
+			// batch's tasks return to the queue (in arrival order, ahead of
+			// younger work) and stay in-flight until a surviving pool steals
+			// them or this one recovers. Requeue frees the one worker slot
+			// this batch held; the submission ledger never moves, so
+			// Conservation still accounts each request exactly once.
+			p.core.Requeue(bs.tasks)
+			if f := p.core.Former(); f != nil {
+				for i, t := range bs.tasks {
+					f.Observe(t, reqBatch(bs.reqs[i].opt))
+				}
+			}
+			e.syncDepth(p)
+			p.mu.Unlock()
+			e.cRequeues.Inc(float64(len(bs.tasks)))
+			// The requeued backlog is rescue work: wake peers to steal it.
+			for _, d := range e.pools {
+				if d != p {
+					d.cond.Signal()
+				}
+			}
+			putBatch(bs)
+			p.mu.Lock()
+			continue
+		}
 		p.core.Complete(len(bs.reqs))
 		p.mu.Unlock()
 		if err == nil {
@@ -1707,9 +1878,22 @@ func (e *Engine) worker(p *pool) {
 // racing the shutdown. Idempotent.
 func (e *Engine) Close() {
 	e.once.Do(func() {
+		// Disarm the fault script first: a scripted kill must not race the
+		// drain below (a timer mid-fire holds no pool lock yet, so the
+		// closed checks in the fault path make any straggler a no-op).
+		for _, t := range e.faultTimers {
+			t.Stop()
+		}
 		for _, p := range e.pools {
 			p.mu.Lock()
 			p.closed = true
+			if !p.core.Healthy() {
+				// A drain outranks a fault: a dead pool's queue must still be
+				// served (its tasks carry blocked submitters), so revive the
+				// core — like Freeze below, shutdown wins every race.
+				p.core.Recover(e.now())
+				p.deadBit.Store(false)
+			}
 			if lc := p.core.Lifecycle(); lc != nil {
 				// Drain semantics: queued work must still be served, so
 				// suspension stops and warming finishes instantly — a

@@ -1,0 +1,395 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dscs/internal/csd"
+	"dscs/internal/faas"
+	"dscs/internal/objstore"
+	"dscs/internal/platform"
+	"dscs/internal/sim"
+	"dscs/internal/ssd"
+	"dscs/internal/trace"
+	"dscs/internal/workload"
+)
+
+// testRunnersTwoCPU is testRunners plus a second CPU-class pool, so the
+// spill-target scans have a live/dead choice to make.
+func testRunnersTwoCPU(t testing.TB) map[string]*faas.Runner {
+	t.Helper()
+	var nodes []*objstore.Node
+	for i := 0; i < 4; i++ {
+		d, err := ssd.New(ssd.SmartSSDClass())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("ssd-%d", i), Kind: objstore.PlainSSD, SSD: d,
+		})
+	}
+	for i := 0; i < 2; i++ {
+		d, err := csd.New(csd.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, &objstore.Node{
+			ID: fmt.Sprintf("dscs-%d", i), Kind: objstore.DSCSDrive, CSD: d,
+		})
+	}
+	store, err := objstore.New(objstore.Default(), nodes, sim.NewRNG(23))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*faas.Runner{
+		"DSCS-Serverless": faas.NewRunner(store, platform.DSCS()),
+		"Baseline (CPU)":  faas.NewRunner(store, platform.BaselineCPU()),
+		"Standby (CPU)":   faas.NewRunner(store, platform.BaselineCPU()),
+	}
+}
+
+// TestDeadPoolNotSpillTarget is the satellite regression for the idle-pool
+// fast path: a dead pool looks exactly like an idle one — empty queue,
+// free workers, zero-count digest — and before the health gate it priced
+// as "idle, free" and won every spill-target scan by name order. The fix
+// checks the health bit before the zero-price shortcut and skips dead
+// pools in the scans outright.
+func TestDeadPoolNotSpillTarget(t *testing.T) {
+	eng, err := NewEngine(testRunnersTwoCPU(t), Options{
+		Workers: 1, QueueDepth: 16, AdaptiveBalance: true, EstimateWarmup: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// "Baseline (CPU)" sorts before "Standby (CPU)", so with both priced at
+	// zero the scan keeps Baseline. Killing it must hand the choice to the
+	// survivor — a dead pool serves nothing, whatever its price.
+	if err := eng.FailPool("Baseline (CPU)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.adaptiveSpillTarget(); got == nil || got.name != "Standby (CPU)" {
+		t.Fatalf("adaptive spill target with Baseline dead = %v, want Standby (CPU)", got)
+	}
+	if got := eng.spillTarget(); got == nil || got.name != "Standby (CPU)" {
+		t.Fatalf("static spill target with Baseline dead = %v, want Standby (CPU)", got)
+	}
+	// The wait-gap trigger must never route onto a dead peer either.
+	dscs, dead := eng.pools["DSCS-Serverless"], eng.pools["Baseline (CPU)"]
+	if eng.waitGapToPool(dscs, dead) {
+		t.Fatal("wait gap latched toward a dead pool")
+	}
+	if err := eng.RecoverPool("Baseline (CPU)"); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.adaptiveSpillTarget(); got == nil || got.name != "Baseline (CPU)" {
+		t.Fatalf("adaptive spill target after recovery = %v, want Baseline (CPU)", got)
+	}
+	if err := eng.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineRequeueOnPoolDeath drives the tentpole invariant end to end on
+// the live engine: a pool killed while a batch is executing must return
+// that batch's tasks to its queue (the execution result is void — a killed
+// worker delivers nothing), keep the requests in-flight, and deliver each
+// exactly once after recovery. Conservation must hold throughout.
+func TestEngineRequeueOnPoolDeath(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int32
+	eng, err := NewEngine(testRunners(t), Options{
+		Workers: 1, QueueDepth: 16,
+		Execute: func(r *faas.Runner, b *workload.Benchmark, opt faas.Options) (faas.Result, error) {
+			if calls.Add(1) == 1 {
+				<-release
+			}
+			return faas.Result{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	bench := workload.BySlug("asset-damage")
+	tel := eng.Telemetry()
+
+	done := make(chan Invocation, 1)
+	go func() {
+		inv, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		done <- inv
+	}()
+	waitFor(t, "first request dispatched", func() bool { return dscsBusy(eng) == 1 })
+
+	// Kill the pool mid-execution, then let the doomed execution finish:
+	// its completion must requeue, not deliver.
+	if err := eng.FailPool("DSCS-Serverless"); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	waitFor(t, "batch requeued", func() bool { return tel.Counter("serve_requeues_total") >= 1 })
+	if eng.InFlight() != 1 {
+		t.Fatalf("in-flight after requeue = %d, want 1 (the request is still owed a delivery)", eng.InFlight())
+	}
+	if got := eng.QueueLen("DSCS-Serverless"); got != 1 {
+		t.Fatalf("dead pool queue after requeue = %d, want 1", got)
+	}
+	if err := eng.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		t.Fatal("request delivered by a dead pool")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	if err := eng.RecoverPool("DSCS-Serverless"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request not delivered after recovery")
+	}
+	if err := eng.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("serve_faults_total"); got != 1 {
+		t.Fatalf("serve_faults_total = %v, want 1", got)
+	}
+}
+
+// TestEngineStealsFromDeadPool: a dead pool's backlog is rescue work — the
+// static steal path must pull it regardless of class or threshold, and
+// submissions landing on a dead pool must wake the rescuers.
+func TestEngineStealsFromDeadPool(t *testing.T) {
+	eng, err := NewEngine(testRunners(t), Options{
+		Workers: 1, QueueDepth: 16, MaxBatch: 1,
+		// Far above the backlog below: only the dead-donor bypass can move
+		// this work.
+		StealThreshold: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	bench := workload.BySlug("asset-damage")
+	if err := eng.FailPool("DSCS-Serverless"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan Invocation, 3)
+	for i := 0; i < 3; i++ {
+		go func() {
+			inv, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			done <- inv
+		}()
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case inv := <-done:
+			if inv.Platform != "Baseline (CPU)" {
+				t.Fatalf("rescued request served by %q, want Baseline (CPU)", inv.Platform)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d stranded on the dead pool", i)
+		}
+	}
+	if got := eng.Telemetry().Counter("serve_steal_total"); got < 3 {
+		t.Fatalf("serve_steal_total = %v, want >= 3", got)
+	}
+	if err := eng.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineHedgedDispatch: an execution outliving HedgeFactor x the
+// adopted service-p95 forks a second dispatch on a healthy peer; the first
+// completion wins and the loser is discarded.
+func TestEngineHedgedDispatch(t *testing.T) {
+	release := make(chan struct{})
+	dscsRunner := make(chan *faas.Runner, 1)
+	eng, err := NewEngine(testRunners(t), Options{
+		Workers: 1, QueueDepth: 16, HedgeFactor: 1,
+		Execute: func(r *faas.Runner, b *workload.Benchmark, opt faas.Options) (faas.Result, error) {
+			select {
+			case dr := <-dscsRunner:
+				if dr == r {
+					// The primary execution on the DSCS pool hangs — the
+					// straggler the hedge exists to cut off.
+					<-release
+				} else {
+					dscsRunner <- dr
+				}
+			default:
+			}
+			return faas.Result{}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	defer close(release)
+	dscsRunner <- eng.pools["DSCS-Serverless"].runner
+	bench := workload.BySlug("asset-damage")
+
+	inv, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = inv
+	tel := eng.Telemetry()
+	if got := tel.Counter("serve_hedges_fired_total"); got != 1 {
+		t.Fatalf("serve_hedges_fired_total = %v, want 1", got)
+	}
+	if got := tel.Counter("serve_hedges_won_total"); got != 1 {
+		t.Fatalf("serve_hedges_won_total = %v, want 1", got)
+	}
+	if err := eng.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineFaultScriptValidation: a typo'd fault script fails at
+// construction, not silently at fire time — and sub-1 hedge factors are
+// rejected (they would fork every request).
+func TestEngineFaultScriptValidation(t *testing.T) {
+	if _, err := NewEngine(testRunners(t), Options{
+		Faults: []trace.FaultEvent{{Kind: trace.FaultPoolDown, Target: "TPU"}},
+	}); err == nil {
+		t.Error("unknown fault-script pool target must fail construction")
+	}
+	if _, err := NewEngine(testRunners(t), Options{
+		Faults: []trace.FaultEvent{{Kind: trace.FaultDriveDown, Target: "nvme-99"}},
+	}); err == nil {
+		t.Error("unknown fault-script drive target must fail construction")
+	}
+	if _, err := NewEngine(testRunners(t), Options{HedgeFactor: 0.5}); err == nil {
+		t.Error("HedgeFactor below 1 must fail construction")
+	}
+}
+
+// TestEngineFaultScriptInjection: a scripted pool-down/pool-up pair fires
+// on the live clock and the engine keeps serving through it.
+func TestEngineFaultScriptInjection(t *testing.T) {
+	eng, err := NewEngine(testRunners(t), Options{
+		Workers: 1, QueueDepth: 16,
+		Faults: []trace.FaultEvent{
+			{At: 10 * time.Millisecond, Kind: trace.FaultPoolDown, Target: "DSCS-Serverless"},
+			{At: 60 * time.Millisecond, Kind: trace.FaultPoolUp, Target: "DSCS-Serverless"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	waitFor(t, "scripted pool-down", func() bool { return !eng.PoolHealthy("DSCS-Serverless") })
+	waitFor(t, "scripted pool-up", func() bool { return eng.PoolHealthy("DSCS-Serverless") })
+	bench := workload.BySlug("asset-damage")
+	if _, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Telemetry().Counter("serve_faults_total"); got != 1 {
+		t.Fatalf("serve_faults_total = %v, want 1", got)
+	}
+}
+
+// TestEngineFailDrive: a downed drive removes in-storage execution for the
+// data it held; the engine serves through it via the runner's conventional
+// fallback, and recovery restores the DSCS path.
+func TestEngineFailDrive(t *testing.T) {
+	eng, err := NewEngine(testRunners(t), Options{Workers: 1, QueueDepth: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for _, id := range []string{"dscs-0", "dscs-1"} {
+		if err := eng.FailDrive(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bench := workload.BySlug("asset-damage")
+	if _, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5}); err != nil {
+		t.Fatalf("submit with every DSCS drive down: %v", err)
+	}
+	for _, id := range []string{"dscs-0", "dscs-1"} {
+		if err := eng.RecoverDrive(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.FailDrive("nvme-99"); err == nil {
+		t.Error("unknown drive must error")
+	}
+}
+
+// TestEngineFailPoolMidColdStart: an elastic pool killed while slots are
+// warming must not let the armed lifecycle timer fire capacity into the
+// dead pool — the quench cancels the pending pulls and disarms the timer,
+// and a stale time.AfterFunc callback racing the kill is a gated no-op
+// (run under -race in CI). Recovery re-warms and serves the queued work.
+func TestEngineFailPoolMidColdStart(t *testing.T) {
+	eng, err := NewEngine(testRunners(t), Options{
+		MaxWorkers: 2, MinWorkers: 0, QueueDepth: 16,
+		ColdStart: 150 * time.Millisecond, IdleLinger: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	bench := workload.BySlug("asset-damage")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := eng.Submit("DSCS-Serverless", bench, faas.Options{Quantile: 0.5}); err != nil {
+			t.Error(err)
+		}
+	}()
+	p := eng.pools["DSCS-Serverless"]
+	lifecycle := func() (warm, warming int) {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		lc := p.core.Lifecycle()
+		return lc.Warm(), lc.Warming()
+	}
+	waitFor(t, "cold start underway", func() bool { _, w := lifecycle(); return w > 0 })
+	if err := eng.FailPool("DSCS-Serverless"); err != nil {
+		t.Fatal(err)
+	}
+	// Well past the cancelled pull's readyAt: had the timer survived the
+	// kill, the slot would have promoted into the dead pool by now.
+	time.Sleep(250 * time.Millisecond)
+	if warm, warming := lifecycle(); warm != 0 || warming != 0 {
+		t.Fatalf("capacity resurrected into a dead pool: warm=%d warming=%d", warm, warming)
+	}
+	select {
+	case <-done:
+		t.Fatal("request served by a dead scaled-to-zero pool")
+	default:
+	}
+	if err := eng.RecoverPool("DSCS-Serverless"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("request not served after recovery")
+	}
+	if err := eng.Conservation(); err != nil {
+		t.Fatal(err)
+	}
+}

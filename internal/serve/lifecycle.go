@@ -91,6 +91,12 @@ type Lifecycle struct {
 	// frozen disables suspension: the engine's Close drain must not
 	// park capacity while queues still hold work.
 	frozen bool
+	// quenched pins the machine while its pool is browned out: warming
+	// was cancelled, and no new warming or suspension may start until
+	// Unquench. The opposite of frozen (which promotes warming and
+	// guarantees capacity so a drain can finish): a dead pool must not
+	// have a pending cold-start timer resurrect capacity into it.
+	quenched bool
 }
 
 // NewLifecycle builds the state machine with initialWarm slots already
@@ -165,8 +171,10 @@ func (lc *Lifecycle) SetDesired(n int, now time.Duration) int {
 	for len(lc.warming) > 0 && lc.warm+len(lc.warming) > n {
 		lc.warming = lc.warming[:len(lc.warming)-1]
 	}
-	// Start warming the shortfall out of cold capacity.
-	for lc.warm+len(lc.warming) < n {
+	// Start warming the shortfall out of cold capacity — unless the pool
+	// is quenched: a browned-out pool must not schedule cold starts that
+	// would come ready inside a grave.
+	for !lc.quenched && lc.warm+len(lc.warming) < n {
 		lc.warming = append(lc.warming, now+lc.cfg.ColdStart)
 	}
 	// Re-advance under the new target: zero-penalty warming promotes in
@@ -184,6 +192,7 @@ func (lc *Lifecycle) SetDesired(n int, now time.Duration) int {
 func (lc *Lifecycle) Freeze(now time.Duration) {
 	lc.advance(now, lc.busy)
 	lc.frozen = true
+	lc.quenched = false // a drain outranks a brown-out: queued work must leave
 	for range lc.warming {
 		lc.warm++
 		lc.coldStarts++
@@ -197,6 +206,32 @@ func (lc *Lifecycle) Freeze(now time.Duration) {
 	}
 	lc.idle = lc.idle[:0]
 }
+
+// Quench pins the state machine while its pool is browned out: pending
+// warming slots are cancelled (an aborted pull pays no cold start — and,
+// critically, no timer armed at their readyAt may later resurrect
+// capacity into a dead pool), idle lingers are disarmed, and no new
+// warming or suspension starts until Unquench. Warm capacity itself is
+// untouched so recovery resumes at the pre-fault size.
+func (lc *Lifecycle) Quench(now time.Duration) {
+	lc.advance(now, lc.busy)
+	lc.quenched = true
+	lc.warming = lc.warming[:0]
+	lc.idle = lc.idle[:0]
+}
+
+// Unquench lifts the brown-out pin at now and re-warms toward the
+// desired capacity, paying cold starts for whatever the quench cancelled.
+func (lc *Lifecycle) Unquench(now time.Duration) {
+	if !lc.quenched {
+		return
+	}
+	lc.quenched = false
+	lc.SetDesired(lc.desired, now)
+}
+
+// Quenched reports whether the machine is pinned by a brown-out.
+func (lc *Lifecycle) Quenched() bool { return lc.quenched }
 
 // NextEvent returns the earliest instant the state machine changes on
 // its own — a warming slot coming ready or a lingering slot's suspend
@@ -212,7 +247,7 @@ func (lc *Lifecycle) NextEvent() (time.Duration, bool) {
 	if len(lc.warming) > 0 {
 		at, ok = lc.warming[0], true
 	}
-	if !lc.frozen && len(lc.idle) > 0 && lc.warm+len(lc.warming) > lc.desired &&
+	if !lc.frozen && !lc.quenched && len(lc.idle) > 0 && lc.warm+len(lc.warming) > lc.desired &&
 		lc.warm > lc.busy && lc.warm > lc.cfg.Min {
 		if !ok || lc.idle[0] < at {
 			at, ok = lc.idle[0], true
@@ -272,7 +307,7 @@ func (lc *Lifecycle) fireAt(evt time.Duration) {
 		// A freshly warmed slot is idle; it starts its own linger.
 		lc.idle = append(lc.idle, evt+lc.cfg.IdleLinger)
 	}
-	for !lc.frozen && len(lc.idle) > 0 && lc.idle[0] <= evt &&
+	for !lc.frozen && !lc.quenched && len(lc.idle) > 0 && lc.idle[0] <= evt &&
 		lc.warm+len(lc.warming) > lc.desired && lc.warm > lc.busy && lc.warm > lc.cfg.Min {
 		lc.idle = lc.idle[1:]
 		lc.warm--
@@ -289,7 +324,7 @@ func (lc *Lifecycle) reconcileIdle(now time.Duration, busy int) {
 	if want < 0 {
 		want = 0
 	}
-	if lc.frozen {
+	if lc.frozen || lc.quenched {
 		lc.idle = lc.idle[:0]
 		return
 	}

@@ -305,3 +305,94 @@ func TestElasticPoolPropertyHarness(t *testing.T) {
 	}
 	checkSequences(t, 4000, 7, run)
 }
+
+// TestLifecycleQuenchCancelsWarming is the regression for a pool dying
+// mid-ColdStart: the quench must cancel pending warming slots uncharged —
+// before the fix, a timer armed at their readyAt would later fire
+// NextEvent into the dead pool and resurrect capacity into a grave — and
+// must pin SetDesired so no new cold starts are scheduled while dead.
+func TestLifecycleQuenchCancelsWarming(t *testing.T) {
+	cfg := LifecycleConfig{Min: 0, Max: 4, ColdStart: 100 * time.Millisecond, IdleLinger: 50 * time.Millisecond}
+	lc := newTestLifecycle(t, cfg, 0)
+	lc.SetDesired(2, 0)
+	if lc.Warming() != 2 {
+		t.Fatalf("warming = %d, want 2", lc.Warming())
+	}
+	lc.Quench(50 * time.Millisecond)
+	if lc.Warming() != 0 || !lc.Quenched() {
+		t.Fatalf("after quench: warming=%d quenched=%v, want 0/true", lc.Warming(), lc.Quenched())
+	}
+	if at, ok := lc.NextEvent(); ok {
+		t.Fatalf("quenched pool armed an event at %v; a dead pool has no self-transitions", at)
+	}
+	// Past the cancelled pulls' readyAt: nothing may promote, and the
+	// aborted pulls pay no cold start.
+	lc.advance(200*time.Millisecond, 0)
+	if lc.Warm() != 0 || lc.ColdStarts() != 0 {
+		t.Fatalf("capacity resurrected into a quenched pool: warm=%d coldStarts=%d", lc.Warm(), lc.ColdStarts())
+	}
+	// Raising desired while quenched records the target but schedules
+	// nothing.
+	lc.SetDesired(3, 210*time.Millisecond)
+	if lc.Warming() != 0 || lc.Desired() != 3 {
+		t.Fatalf("quenched SetDesired: warming=%d desired=%d, want 0/3", lc.Warming(), lc.Desired())
+	}
+	// Unquench re-warms toward the recorded target, paying the cold
+	// starts the fault deferred.
+	lc.Unquench(300 * time.Millisecond)
+	if lc.Warming() != 3 {
+		t.Fatalf("warming after unquench = %d, want 3", lc.Warming())
+	}
+	lc.advance(400*time.Millisecond, 0)
+	if lc.Warm() != 3 || lc.ColdStarts() != 3 {
+		t.Fatalf("after recovery warm=%d coldStarts=%d, want 3/3", lc.Warm(), lc.ColdStarts())
+	}
+	if err := lc.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLifecycleQuenchKeepsWarmCapacity: warm slots are the durable half —
+// a brown-out disarms their lingers (no suspension fires into a dead
+// pool) but never releases them, so recovery resumes at pre-fault size.
+func TestLifecycleQuenchKeepsWarmCapacity(t *testing.T) {
+	cfg := LifecycleConfig{Min: 0, Max: 4, ColdStart: 100 * time.Millisecond, IdleLinger: 50 * time.Millisecond}
+	lc := newTestLifecycle(t, cfg, 2)
+	lc.advance(0, 0) // both slots idle, lingers armed
+	lc.Quench(10 * time.Millisecond)
+	if lc.Warm() != 2 || lc.Lingering() != 0 {
+		t.Fatalf("after quench: warm=%d lingering=%d, want 2/0", lc.Warm(), lc.Lingering())
+	}
+	// Far past both linger deadlines: no suspend may fire while quenched.
+	lc.advance(500*time.Millisecond, 0)
+	if lc.Warm() != 2 || lc.Suspends() != 0 {
+		t.Fatalf("quenched pool suspended capacity: warm=%d suspends=%d", lc.Warm(), lc.Suspends())
+	}
+	lc.Unquench(600 * time.Millisecond)
+	if lc.Warm() != 2 {
+		t.Fatalf("warm after unquench = %d, want the pre-fault 2", lc.Warm())
+	}
+}
+
+// TestLifecycleFreezeOutranksQuench: Close drains a dead pool too — the
+// freeze clears the quench pin and guarantees a warm slot, so queued work
+// leaves instead of stranding behind the fault.
+func TestLifecycleFreezeOutranksQuench(t *testing.T) {
+	cfg := LifecycleConfig{Min: 0, Max: 4, ColdStart: 100 * time.Millisecond}
+	lc := newTestLifecycle(t, cfg, 0)
+	lc.SetDesired(2, 0)
+	lc.Quench(10 * time.Millisecond)
+	lc.Freeze(20 * time.Millisecond)
+	if lc.Quenched() {
+		t.Fatal("freeze must clear the quench pin: a drain outranks a brown-out")
+	}
+	if lc.Warm() < 1 {
+		t.Fatalf("frozen pool warm = %d, want >= 1 to drain its queue", lc.Warm())
+	}
+	if at, ok := lc.NextEvent(); ok {
+		t.Fatalf("frozen pool armed an event at %v", at)
+	}
+	if err := lc.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

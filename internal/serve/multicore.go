@@ -68,6 +68,9 @@ type MultiCore struct {
 	// per-pool counters transfer on a steal, this one never does.
 	submitted int
 	stolen    int
+	// faults counts FailPool transitions; requeued counts tasks returned
+	// to their queue by Requeue across the pool set.
+	faults, requeued int
 }
 
 // NewMultiCore builds the N-pool core. Wait digests use the default
@@ -193,6 +196,49 @@ func (m *MultiCore) Coalesce(i int, now time.Duration, max int, match func(sched
 // Complete retires n tasks from pool i and frees their worker.
 func (m *MultiCore) Complete(i, n int) { m.pools[i].Complete(n) }
 
+// FailPool browns pool i out at now (see PoolCore.Fail) and invalidates
+// the balance state its history armed: the pool's wait digest is dropped
+// — a dead pool's recorded waits price a world that no longer exists —
+// and every hysteresis latch involving it is released without counting a
+// flip, so spill/steal decisions re-derive from live evidence instead of
+// the grave's history. Idempotent while dead.
+func (m *MultiCore) FailPool(i int, now time.Duration) {
+	p := m.pools[i]
+	if !p.Healthy() {
+		return
+	}
+	p.Fail(now)
+	m.faults++
+	m.waits.Forget(m.specs[i].Name)
+	for k, l := range m.latches {
+		if k[0] == i || k[1] == i {
+			l.Reset()
+		}
+	}
+}
+
+// RecoverPool ends pool i's brown-out at now (see PoolCore.Recover). The
+// wait digest stays forgotten: the recovered pool re-warms its balance
+// evidence from scratch.
+func (m *MultiCore) RecoverPool(i int, now time.Duration) {
+	m.pools[i].Recover(now)
+}
+
+// Healthy reports whether pool i is dispatching.
+func (m *MultiCore) Healthy(i int) bool { return m.pools[i].Healthy() }
+
+// Requeue returns one execution's in-flight tasks to pool i's queue (see
+// PoolCore.Requeue — at-most-once accounting, arrival order preserved).
+func (m *MultiCore) Requeue(i int, tasks []sched.HybridTask) {
+	m.pools[i].Requeue(tasks)
+	m.requeued += len(tasks)
+}
+
+// Faults counts FailPool transitions; Requeued counts tasks returned to
+// their queue across the pool set.
+func (m *MultiCore) Faults() int   { return m.faults }
+func (m *MultiCore) Requeued() int { return m.requeued }
+
 // Steal moves up to max of pool from's oldest queued tasks onto pool to's
 // backlog (see PoolCore.StealFrom: arrival instants and submission
 // accounting move with the tasks, capped at the thief's queue room).
@@ -260,7 +306,21 @@ func (m *MultiCore) WaitQuantileOf(i int, q float64) time.Duration {
 // latch (warmup, then enter at 1.5x, release within 1.2x), so the decision
 // flips once per genuine imbalance instead of flapping around the
 // boundary. Each directed pool pair owns its latch.
+//
+// Health short-circuits the wait evidence in both directions. Toward a
+// dead peer the answer is always no — however overloaded the donor, work
+// must not route into a grave. Out of a dead donor the answer is yes the
+// moment it holds a backlog: its orphaned and requeued work has no
+// workers coming back for it, so it escapes without the latch, the
+// warmup, or any digest evidence (a dead pool's digest was forgotten
+// anyway).
 func (m *MultiCore) Overloaded(from, to int) bool {
+	if !m.Healthy(to) {
+		return false
+	}
+	if !m.Healthy(from) {
+		return m.pools[from].QueueLen() > 0
+	}
 	return waitGapLatched(m.WaitDigest(from), m.latch(from, to), m.peerWait(to), m.warmup)
 }
 
@@ -284,8 +344,16 @@ func (m *MultiCore) latch(from, to int) *metrics.Latch {
 // the pool that served them (the attribution the observability wants), so
 // one rescue inflates the rescuer's p95 to the donor's level and the latch
 // never re-enters while the backlog regrows.
+//
+// The health bit is checked before the idle fast path: a dead pool's
+// empty backlog and freed workers look exactly like idleness ("idle →
+// 0 wait") and would make it the most attractive target in every
+// ranking, so it prices at its digest instead — and since FailPool
+// forgot that digest, selection must additionally skip dead pools
+// (BalanceTarget does; Overloaded refuses dead peers outright).
 func (m *MultiCore) peerWait(i int) time.Duration {
-	if p := m.pools[i]; p.QueueLen() == 0 && p.free > 0 {
+	p := m.pools[i]
+	if p.Healthy() && p.QueueLen() == 0 && p.free > 0 {
 		return 0
 	}
 	return m.WaitQuantileOf(i, WaitQuantile)
@@ -307,7 +375,7 @@ func (m *MultiCore) BalanceTarget(from int, eligible func(int) bool) (int, bool)
 	best, found := 0, false
 	var bestWait time.Duration
 	for i := range m.pools {
-		if i == from || (eligible != nil && !eligible(i)) {
+		if i == from || (eligible != nil && !eligible(i)) || !m.Healthy(i) {
 			continue
 		}
 		// Rank by the same pricing the Overloaded gate applies: ranking by
@@ -326,8 +394,14 @@ func (m *MultiCore) BalanceTarget(from int, eligible func(int) bool) (int, bool)
 
 // StealDonor picks the pool an idle thief should pull queued work from: the
 // eligible peer with the deepest backlog whose adopted wait-p95 gap over
-// the thief has latched. A nil eligible accepts every other pool.
+// the thief has latched. A nil eligible accepts every other pool. A dead
+// thief never steals; a dead donor with a backlog always qualifies
+// (Overloaded's dead-donor fast path) — stealing is how its orphans get
+// rescued.
 func (m *MultiCore) StealDonor(to int, eligible func(int) bool) (int, bool) {
+	if !m.Healthy(to) {
+		return 0, false
+	}
 	donor, found := 0, false
 	deepest := 0
 	for i, p := range m.pools {

@@ -444,3 +444,135 @@ func TestMultiCorePropertyHarness(t *testing.T) {
 	}
 	checkSequences(t, 4000, 7, run)
 }
+
+// TestMultiCoreChaosPropertyHarness is the failure-model extension of the
+// harness above: the same N=3 pool set with randomized kill/recover
+// interleavings mixed into the schedule. A kill requeues every open
+// execution of the dying pool (the in-flight work its workers were
+// holding), so the harness checks the at-most-once accounting the requeue
+// path promises: Conservation across the pool set, per-pool worker bounds,
+// no task dispatched twice within one life, and the aged-head starvation
+// bound — after every single step, dead pools included.
+func TestMultiCoreChaosPropertyHarness(t *testing.T) {
+	const pools = 3
+	classes := []sched.InstanceClass{sched.ClassCPU, sched.ClassCPU, sched.ClassDSCS}
+	run := func(ops []propOp) error {
+		mc, err := NewMultiCore([]PoolSpec{
+			{Name: "cpu0", Class: classes[0], Workers: 2, QueueDepth: 8, Policy: sched.CriticalityPolicy{}},
+			{Name: "cpu1", Class: classes[1], Workers: 1, QueueDepth: 8, Policy: sched.CriticalityPolicy{}},
+			{Name: "dscs", Class: classes[2], Workers: 2, QueueDepth: 8, Policy: sched.CriticalityPolicy{}},
+		})
+		if err != nil {
+			return err
+		}
+		mc.SetWaitTuning(16, 4)
+		now := time.Duration(0)
+		nextID := 0
+		dispatched := map[int]bool{}
+		// Open executions carry their task slices: a kill must hand the
+		// exact in-flight tasks back to the queue, one worker per exec.
+		execs := make([][][]sched.HybridTask, pools)
+		for _, op := range ops {
+			now += time.Duration(1+op.b%8) * time.Millisecond
+			switch op.kind {
+			case 0: // submit, biased toward the DSCS backlog
+				pool := 2
+				if op.a%4 == 0 {
+					pool = op.a % pools
+				}
+				mc.SubmitTo(pool, propTask(nextID, now, op.a))
+				nextID++
+			case 1: // dispatch from a random pool (a no-op on a dead one)
+				pool := op.a % pools
+				head, hadHead := mc.Pool(pool).queue.Head()
+				got, ok := mc.Dispatch(pool, now)
+				if !ok {
+					if !mc.Healthy(pool) && mc.Pool(pool).QueueLen() > 0 {
+						break // a dead pool must refuse, backlog or not
+					}
+					break
+				}
+				if !mc.Healthy(pool) {
+					return fmt.Errorf("dead pool %d dispatched task %d", pool, got.ID)
+				}
+				if dispatched[got.ID] {
+					return fmt.Errorf("task %d dispatched twice", got.ID)
+				}
+				dispatched[got.ID] = true
+				if err := agedPassedOver(head, hadHead, got, classes[pool], now); err != nil {
+					return err
+				}
+				execs[pool] = append(execs[pool], []sched.HybridTask{got})
+			case 2: // coalesce onto the pool's latest execution
+				pool := op.b % pools
+				if len(execs[pool]) == 0 {
+					break
+				}
+				payload := string(rune('a' + op.a%3))
+				taken := mc.Coalesce(pool, now, 1+op.a%4, func(x sched.HybridTask) bool { return x.Payload == payload })
+				for _, tk := range taken {
+					if dispatched[tk.ID] {
+						return fmt.Errorf("task %d coalesced after dispatch", tk.ID)
+					}
+					dispatched[tk.ID] = true
+				}
+				last := len(execs[pool]) - 1
+				execs[pool][last] = append(execs[pool][last], taken...)
+			case 3: // complete a random execution of a random pool
+				pool := op.b % pools
+				if len(execs[pool]) == 0 {
+					break
+				}
+				i := op.a % len(execs[pool])
+				mc.Complete(pool, len(execs[pool][i]))
+				execs[pool] = append(execs[pool][:i], execs[pool][i+1:]...)
+			case 4: // advance the clock a long way (ages heads, warms latches)
+				now += time.Duration(op.a%2000) * time.Millisecond
+			case 5: // steal in a random direction (dead donors are fair game)
+				from := op.a % pools
+				to := op.b % pools
+				moved := mc.Steal(from, to, 1+op.a%4)
+				if len(moved) > 0 && !mc.Healthy(to) {
+					return fmt.Errorf("dead pool %d stole %d tasks", to, len(moved))
+				}
+				for _, tk := range moved {
+					if dispatched[tk.ID] {
+						return fmt.Errorf("task %d stolen after dispatch", tk.ID)
+					}
+				}
+			case 6: // kill a pool: every open execution requeues exactly once
+				pool := op.a % pools
+				if !mc.Healthy(pool) {
+					break
+				}
+				mc.FailPool(pool, now)
+				for _, tasks := range execs[pool] {
+					mc.Requeue(pool, tasks)
+					for _, tk := range tasks {
+						// Requeued work gets a second dispatch in its next
+						// life; the at-most-once check tracks per life.
+						delete(dispatched, tk.ID)
+					}
+				}
+				execs[pool] = execs[pool][:0]
+			case 7: // recover a pool
+				pool := op.a % pools
+				mc.RecoverPool(pool, now)
+			}
+			if err := mc.Conservation(); err != nil {
+				return err
+			}
+			for i := 0; i < pools; i++ {
+				pc := mc.Pool(i)
+				if pc.Busy() < 0 || pc.Busy() > pc.Workers() {
+					return fmt.Errorf("pool %d busy %d outside [0, %d]", i, pc.Busy(), pc.Workers())
+				}
+				if pc.Running() < 0 {
+					return fmt.Errorf("pool %d running negative", i)
+				}
+			}
+		}
+		return nil
+	}
+	checkSequences(t, 4000, 8, run)
+}

@@ -1,0 +1,125 @@
+// fault.go is the failure-event trace class: a scripted schedule of drive
+// and pool faults replayed against the serve core, on the virtual clock in
+// the simulations and on wall time in the live engine. Like the arrival
+// traces it is pure data — the scheduler decides what a kill means; the
+// script only says when one happens.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// FaultKind classifies one scripted fault event.
+type FaultKind int
+
+// Fault kinds: pools brown out and recover (a platform's workers stop
+// dispatching; its queue survives), drives fail and recover (replica
+// failover and conventional-execution fallback in objstore).
+const (
+	FaultPoolDown FaultKind = iota
+	FaultPoolUp
+	FaultDriveDown
+	FaultDriveUp
+)
+
+// faultKindNames is the script spelling of each kind (ParseFaultScript and
+// String stay inverses through it).
+var faultKindNames = map[FaultKind]string{
+	FaultPoolDown:  "pool-down",
+	FaultPoolUp:    "pool-up",
+	FaultDriveDown: "drive-down",
+	FaultDriveUp:   "drive-up",
+}
+
+// String names the kind in the script spelling.
+func (k FaultKind) String() string {
+	if s, ok := faultKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Pool reports whether the event targets a worker pool (vs. a drive).
+func (k FaultKind) Pool() bool { return k == FaultPoolDown || k == FaultPoolUp }
+
+// Down reports whether the event is a failure (vs. a recovery).
+func (k FaultKind) Down() bool { return k == FaultPoolDown || k == FaultDriveDown }
+
+// FaultEvent is one scripted fault: at offset At from the start of the
+// run, the named pool or drive fails or recovers.
+type FaultEvent struct {
+	At     time.Duration
+	Kind   FaultKind
+	Target string
+}
+
+// String formats the event in the script spelling.
+func (ev FaultEvent) String() string {
+	return fmt.Sprintf("%s:%s:%s", ev.At, ev.Kind, ev.Target)
+}
+
+// FormatFaultScript renders events back into the ParseFaultScript
+// spelling; Parse(Format(events)) round-trips any parsed script.
+func FormatFaultScript(events []FaultEvent) string {
+	parts := make([]string, len(events))
+	for i, ev := range events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseFaultScript decodes a fault schedule of the form
+//
+//	30s:pool-down:DSCS-Serverless;2m:pool-up:DSCS-Serverless
+//
+// — events separated by ';' or newlines, each "offset:kind:target" with
+// kind one of pool-down, pool-up, drive-down, drive-up. The target is
+// everything after the second ':' (platform names may contain any rune
+// except the separators). Events are returned sorted by offset, ties in
+// script order; an empty script returns nil.
+func ParseFaultScript(script string) ([]FaultEvent, error) {
+	var events []FaultEvent
+	for _, line := range strings.FieldsFunc(script, func(r rune) bool {
+		return r == ';' || r == '\n'
+	}) {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("trace: fault event %q is not offset:kind:target", line)
+		}
+		at, err := time.ParseDuration(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: fault offset %q: %w", parts[0], err)
+		}
+		if at < 0 {
+			return nil, fmt.Errorf("trace: negative fault offset %q", parts[0])
+		}
+		kind, ok := parseFaultKind(parts[1])
+		if !ok {
+			return nil, fmt.Errorf("trace: unknown fault kind %q (pool-down, pool-up, drive-down, drive-up)", parts[1])
+		}
+		target := strings.TrimSpace(parts[2])
+		if target == "" {
+			return nil, fmt.Errorf("trace: fault event %q has an empty target", line)
+		}
+		events = append(events, FaultEvent{At: at, Kind: kind, Target: target})
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}
+
+// parseFaultKind inverts FaultKind.String.
+func parseFaultKind(s string) (FaultKind, bool) {
+	for k, name := range faultKindNames {
+		if s == name {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFaultScript(t *testing.T) {
+	events, err := ParseFaultScript("30s:pool-down:DSCS-Serverless; 2m:pool-up:DSCS-Serverless\n45s:drive-down:nvme-2;1m30s:drive-up:nvme-2")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	want := []FaultEvent{
+		{At: 30 * time.Second, Kind: FaultPoolDown, Target: "DSCS-Serverless"},
+		{At: 45 * time.Second, Kind: FaultDriveDown, Target: "nvme-2"},
+		{At: 90 * time.Second, Kind: FaultDriveUp, Target: "nvme-2"},
+		{At: 2 * time.Minute, Kind: FaultPoolUp, Target: "DSCS-Serverless"},
+	}
+	if len(events) != len(want) {
+		t.Fatalf("got %d events, want %d", len(events), len(want))
+	}
+	for i, ev := range events {
+		if ev != want[i] {
+			t.Errorf("event %d = %+v, want %+v", i, ev, want[i])
+		}
+	}
+}
+
+func TestParseFaultScriptEmpty(t *testing.T) {
+	for _, script := range []string{"", " \n ", ";;"} {
+		events, err := ParseFaultScript(script)
+		if err != nil || events != nil {
+			t.Errorf("ParseFaultScript(%q) = %v, %v; want nil, nil", script, events, err)
+		}
+	}
+}
+
+func TestParseFaultScriptErrors(t *testing.T) {
+	for _, script := range []string{
+		"30s:pool-down",          // missing target
+		"30s:pool-down:",         // empty target
+		"banana:pool-down:dscs",  // bad duration
+		"-5s:pool-down:dscs",     // negative offset
+		"30s:pool-sideways:dscs", // unknown kind
+	} {
+		if _, err := ParseFaultScript(script); err == nil {
+			t.Errorf("ParseFaultScript(%q) accepted", script)
+		}
+	}
+}
+
+func TestFaultScriptRoundTrip(t *testing.T) {
+	script := "30s:pool-down:dscs;45s:drive-down:nvme-0;2m0s:pool-up:dscs"
+	events, err := ParseFaultScript(script)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if got := FormatFaultScript(events); got != script {
+		t.Fatalf("round trip = %q, want %q", got, script)
+	}
+}
+
+func TestFaultKindPredicates(t *testing.T) {
+	cases := []struct {
+		kind       FaultKind
+		pool, down bool
+	}{
+		{FaultPoolDown, true, true},
+		{FaultPoolUp, true, false},
+		{FaultDriveDown, false, true},
+		{FaultDriveUp, false, false},
+	}
+	for _, c := range cases {
+		if c.kind.Pool() != c.pool || c.kind.Down() != c.down {
+			t.Errorf("%v: Pool=%v Down=%v, want %v %v", c.kind, c.kind.Pool(), c.kind.Down(), c.pool, c.down)
+		}
+	}
+}
+
+// FuzzFaultScript checks that any accepted script yields a well-formed,
+// ordered schedule that survives a format/parse round trip.
+func FuzzFaultScript(f *testing.F) {
+	f.Add("30s:pool-down:DSCS-Serverless;2m:pool-up:DSCS-Serverless")
+	f.Add("45s:drive-down:nvme-2\n1m30s:drive-up:nvme-2")
+	f.Add("0s:pool-down:a:b:c")
+	f.Add(";;\n ;")
+	f.Fuzz(func(t *testing.T, script string) {
+		events, err := ParseFaultScript(script)
+		if err != nil {
+			return
+		}
+		for i, ev := range events {
+			if ev.At < 0 {
+				t.Fatalf("event %d has negative offset %v", i, ev.At)
+			}
+			if strings.TrimSpace(ev.Target) == "" {
+				t.Fatalf("event %d has blank target", i)
+			}
+			if i > 0 && events[i-1].At > ev.At {
+				t.Fatalf("events out of order: %v after %v", ev.At, events[i-1].At)
+			}
+		}
+		again, err := ParseFaultScript(FormatFaultScript(events))
+		if err != nil {
+			t.Fatalf("re-parse of formatted script: %v", err)
+		}
+		if len(again) != len(events) {
+			t.Fatalf("round trip lost events: %d -> %d", len(events), len(again))
+		}
+		for i := range events {
+			if again[i] != events[i] {
+				t.Fatalf("round trip changed event %d: %+v -> %+v", i, events[i], again[i])
+			}
+		}
+	})
+}
