@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"dscs/internal/analysis"
+	"dscs/internal/analysis/analysistest"
+)
+
+// noop carries the directive-parser fixture: it reports nothing itself,
+// so every finding over the fixture package comes from the parser.
+var noop = &analysis.Analyzer{
+	Name: "noopcheck",
+	Doc:  "no-op carrier for directive-parser fixtures",
+	Run:  func(*analysis.Pass) {},
+}
+
+func TestMalformedDirectivesAreFindings(t *testing.T) {
+	analysistest.Run(t, noop, "directives")
+}
+
+func TestGitHubAnnotationEscapes(t *testing.T) {
+	d := analysis.Diagnostic{
+		Analyzer: "clockcheck",
+		Message:  "100% wrong\r\ntwo lines",
+	}
+	d.Pos.Filename = "/repo/internal/serve/engine.go"
+	d.Pos.Line = 7
+	d.Pos.Column = 3
+	got := analysis.GitHubAnnotation(d, "/repo")
+	want := "::error file=internal/serve/engine.go,line=7,col=3,title=dscslint/clockcheck::100%25 wrong%0D%0Atwo lines"
+	if got != want {
+		t.Errorf("GitHubAnnotation:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestFormatRelativizesInsideBaseOnly(t *testing.T) {
+	d := analysis.Diagnostic{Analyzer: "rngcheck", Message: "m"}
+	d.Pos.Filename = "/elsewhere/x.go"
+	d.Pos.Line = 1
+	d.Pos.Column = 1
+	if got := analysis.Format(d, "/repo"); !strings.HasPrefix(got, "/elsewhere/x.go:1:1:") {
+		t.Errorf("path outside base must stay absolute, got %q", got)
+	}
+}

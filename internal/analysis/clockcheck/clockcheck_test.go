@@ -1,0 +1,12 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"dscs/internal/analysis/analysistest"
+	"dscs/internal/analysis/clockcheck"
+)
+
+func TestClockInjection(t *testing.T) {
+	analysistest.Run(t, clockcheck.Analyzer, "clockinject")
+}

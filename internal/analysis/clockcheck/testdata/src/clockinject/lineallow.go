@@ -1,0 +1,16 @@
+package clockinject
+
+import "time"
+
+// lineScoped exercises the two line-scoped allow spellings: a directive
+// on its own line covers the line below; a trailing directive covers its
+// own line (and the one after — keep it on the region's last line).
+// Anything else in the function is still flagged.
+func lineScoped() time.Time {
+	//dscslint:allow clockcheck deliberate wall read to stamp fixture output
+	a := time.Now()
+	b := time.Now()    // want `time\.Now reads wall time`
+	d := time.Since(b) // want `time\.Since reads wall time`
+	_ = d
+	return a.Add(time.Since(b)) //dscslint:allow clockcheck trailing form covers its own line
+}

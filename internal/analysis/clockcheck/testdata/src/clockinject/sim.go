@@ -1,0 +1,36 @@
+// Package clockinject mimics a clock-injected simulation package: every
+// timestamp must come from the injected virtual clock, never the wall.
+// This fixture reproduces the bug class clockcheck exists for — a wall
+// read in a sim-shared path desynchronizes the virtual clock and breaks
+// every seeded golden downstream.
+package clockinject
+
+import "time"
+
+// Clock is the injected time source the package is supposed to use.
+type Clock struct{ now time.Time }
+
+// Now returns the virtual timestamp; method calls on injected clocks are
+// the sanctioned path and must not be flagged.
+func (c *Clock) Now() time.Time { return c.now }
+
+func step(c *Clock) time.Duration {
+	start := c.Now()                // injected clock: fine
+	wall := time.Now()              // want `time\.Now reads wall time`
+	time.Sleep(time.Millisecond)    // want `time\.Sleep blocks on the wall clock`
+	<-time.After(time.Millisecond)  // want `time\.After schedules on the wall clock`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer schedules on the wall clock`
+	t.Stop()
+	time.AfterFunc(time.Second, func() {}) // want `time\.AfterFunc schedules on the wall clock`
+	_ = wall
+	return time.Since(start) // want `time\.Since reads wall time`
+}
+
+// A bare reference leaks the wall clock just as surely as a call:
+// storing time.Now in a clock field is the same bug one step removed.
+var nowFn = time.Now // want `time\.Now reads wall time`
+
+// Pure duration arithmetic and time.Time methods never touch the wall.
+func window(d time.Duration, deadline time.Time) bool {
+	return deadline.Add(d).After(deadline)
+}

@@ -1,0 +1,14 @@
+//dscslint:allow clockcheck fixture for the sanctioned wall-clock-half escape: the whole file is exempt
+
+package clockinject
+
+import "time"
+
+// wallDeadline models a live-engine file that is *supposed* to read wall
+// time (timer arming, fault windows). The file-scoped allow above the
+// package clause exempts every use in this file — none of these carry
+// an expectation comment.
+func wallDeadline(d time.Duration) time.Time {
+	time.Sleep(0)
+	return time.Now().Add(d)
+}

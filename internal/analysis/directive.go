@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectivePrefix introduces every dscslint source directive.
+const DirectivePrefix = "//dscslint:"
+
+// DirectiveChecker is the analyzer name malformed-directive findings are
+// attributed to. Directives are load-bearing — a typo in one silently
+// re-opens the hole it was meant to document — so parse problems are
+// diagnostics, never a silent pass.
+const DirectiveChecker = "dscslint"
+
+// Directives holds one package's parsed //dscslint directives.
+//
+// Two verbs exist:
+//
+//	//dscslint:allow <analyzer> <reason>
+//	//dscslint:hotpath [note]
+//
+// An allow directive placed before the package clause suppresses the
+// named analyzer for the whole file (the sanctioned spelling for the
+// live engine's wall-clock files); anywhere else it suppresses findings
+// on its own line and the line directly below, so it can trail the
+// flagged statement or sit just above it. A hotpath directive in a
+// function's doc comment (or trailing its declaration line) marks that
+// function as a hot-path root for the hotpathcheck analyzer.
+type Directives struct {
+	fileAllows map[string]map[string]bool
+	lineAllows map[string]map[int]map[string]bool
+	hotpaths   map[string]map[int]bool
+	// Problems collects malformed directives: unknown verbs, unknown
+	// analyzer names, and allows with no reason.
+	Problems []Diagnostic
+}
+
+// ParseDirectives scans the files' comments for //dscslint directives.
+// known lists the analyzer names an allow directive may legally name.
+func ParseDirectives(fset *token.FileSet, files []*ast.File, known []string) *Directives {
+	knownSet := make(map[string]bool, len(known))
+	for _, k := range known {
+		knownSet[k] = true
+	}
+	d := &Directives{
+		fileAllows: map[string]map[string]bool{},
+		lineAllows: map[string]map[int]map[string]bool{},
+		hotpaths:   map[string]map[int]bool{},
+	}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				if strings.HasPrefix(c.Text, DirectivePrefix) {
+					d.parse(fset, f, c, knownSet, known)
+				}
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) parse(fset *token.FileSet, f *ast.File, c *ast.Comment, known map[string]bool, knownList []string) {
+	pos := fset.Position(c.Pos())
+	body := strings.TrimPrefix(c.Text, DirectivePrefix)
+	// An embedded "//" starts inner commentary (fixtures hang // want
+	// expectations off directive comments this way); the directive's
+	// arguments end there.
+	if i := strings.Index(body, "//"); i >= 0 {
+		body = body[:i]
+	}
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		d.problem(pos, "empty dscslint directive (want //dscslint:allow or //dscslint:hotpath)")
+		return
+	}
+	verb := fields[0]
+	switch verb {
+	case "allow":
+		if len(fields) < 2 {
+			d.problem(pos, "//dscslint:allow needs an analyzer name and a reason")
+			return
+		}
+		name := fields[1]
+		if !known[name] {
+			d.problem(pos, "//dscslint:allow names unknown analyzer %q (known: %s)", name, strings.Join(knownList, ", "))
+			return
+		}
+		if len(fields) < 3 {
+			d.problem(pos, "//dscslint:allow %s needs a reason — say why the invariant does not apply here", name)
+			return
+		}
+		if c.End() < f.Package {
+			// Before the package clause: the whole file is exempt.
+			m := d.fileAllows[pos.Filename]
+			if m == nil {
+				m = map[string]bool{}
+				d.fileAllows[pos.Filename] = m
+			}
+			m[name] = true
+			return
+		}
+		lines := d.lineAllows[pos.Filename]
+		if lines == nil {
+			lines = map[int]map[string]bool{}
+			d.lineAllows[pos.Filename] = lines
+		}
+		for _, line := range []int{pos.Line, pos.Line + 1} {
+			m := lines[line]
+			if m == nil {
+				m = map[string]bool{}
+				lines[line] = m
+			}
+			m[name] = true
+		}
+	case "hotpath":
+		m := d.hotpaths[pos.Filename]
+		if m == nil {
+			m = map[int]bool{}
+			d.hotpaths[pos.Filename] = m
+		}
+		m[pos.Line] = true
+	default:
+		d.problem(pos, "unknown dscslint directive %q (want allow or hotpath)", verb)
+	}
+}
+
+func (d *Directives) problem(pos token.Position, format string, args ...any) {
+	d.Problems = append(d.Problems, Diagnostic{
+		Analyzer: DirectiveChecker,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Allowed reports whether an allow directive for the analyzer covers pos.
+func (d *Directives) Allowed(analyzer string, pos token.Position) bool {
+	if d.fileAllows[pos.Filename][analyzer] {
+		return true
+	}
+	return d.lineAllows[pos.Filename][pos.Line][analyzer]
+}
+
+// Hotpath reports whether a //dscslint:hotpath directive sits at the
+// given file line.
+func (d *Directives) Hotpath(filename string, line int) bool {
+	return d.hotpaths[filename][line]
+}

@@ -1,0 +1,12 @@
+package hotpathcheck_test
+
+import (
+	"testing"
+
+	"dscs/internal/analysis/analysistest"
+	"dscs/internal/analysis/hotpathcheck"
+)
+
+func TestHotPathAllocationDiscipline(t *testing.T) {
+	analysistest.Run(t, hotpathcheck.Analyzer, "hotlabels")
+}

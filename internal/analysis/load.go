@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// A Package is one loaded, type-checked analysis target.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	// TypeErrors collects soft type-check problems. The analyzers run
+	// anyway — a half-checked package still yields useful findings —
+	// but the driver surfaces them so a broken tree is never silently
+	// "clean".
+	TypeErrors []error
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// Load type-checks the packages matching the go list patterns, rooted at
+// dir (a directory inside the module). Dependencies resolve through the
+// gc export data `go list -export` places in the build cache, so loading
+// needs no module proxy and no golang.org/x/tools. Only non-test Go
+// files are loaded — the invariants the analyzers enforce guard
+// production code paths.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,CgoFiles,Standard,DepOnly,ImportMap,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	index := map[string]*listEntry{}
+	var targets []*listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		e := new(listEntry)
+		if err := dec.Decode(e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		index[e.ImportPath] = e
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := index[path]
+		if !ok || e.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e.Export)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil && len(t.GoFiles) == 0 {
+			return nil, fmt.Errorf("analysis: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		p, err := check(fset, imp, t, index)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadDir type-checks the single package rooted at dir from its .go
+// files directly, without consulting go list for the package itself —
+// the analysistest harness uses it for fixture packages under testdata,
+// which the go tool refuses to enumerate. Imports still resolve through
+// export data; the importing package must sit inside a module so `go
+// list` can price its (stdlib) imports.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	t := &listEntry{ImportPath: filepath.Base(dir), Dir: dir}
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+			t.GoFiles = append(t.GoFiles, e.Name())
+		}
+	}
+	if len(t.GoFiles) == 0 {
+		return nil, fmt.Errorf("analysis: no .go files in %s", dir)
+	}
+	// Parse first so the fixture's imports are known, then ask go list
+	// for their export data in one shot.
+	fset := token.NewFileSet()
+	files, parseErr := parseAll(fset, t)
+	if parseErr != nil {
+		return nil, parseErr
+	}
+	var imports []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, is := range f.Imports {
+			path := importPathOf(is)
+			if path != "" && !seen[path] {
+				seen[path] = true
+				imports = append(imports, path)
+			}
+		}
+	}
+	index := map[string]*listEntry{}
+	if len(imports) > 0 {
+		args := append([]string{"list", "-e", "-deps", "-export",
+			"-json=ImportPath,Export,Standard,Error"}, imports...)
+		cmd := exec.Command("go", args...)
+		cmd.Dir = dir
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysis: go list %v: %v\n%s", imports, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			e := new(listEntry)
+			if err := dec.Decode(e); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			index[e.ImportPath] = e
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := index[path]
+		if !ok || e.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(e.Export)
+	})
+	return checkParsed(fset, imp, t, files)
+}
+
+func importPathOf(is *ast.ImportSpec) string {
+	if is.Path == nil {
+		return ""
+	}
+	s := is.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return ""
+}
+
+func parseAll(fset *token.FileSet, t *listEntry) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range t.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func check(fset *token.FileSet, imp types.Importer, t *listEntry, index map[string]*listEntry) (*Package, error) {
+	if len(t.CgoFiles) > 0 {
+		return nil, fmt.Errorf("analysis: %s uses cgo, which the loader does not support", t.ImportPath)
+	}
+	files, err := parseAll(fset, t)
+	if err != nil {
+		return nil, err
+	}
+	// ImportMap is empty for an unvendored module, but honor it if set.
+	if len(t.ImportMap) > 0 {
+		base := imp
+		imp = importerFunc(func(path string) (*types.Package, error) {
+			if mapped, ok := t.ImportMap[path]; ok {
+				path = mapped
+			}
+			return base.Import(path)
+		})
+		_ = index
+	}
+	return checkParsed(fset, imp, t, files)
+}
+
+func checkParsed(fset *token.FileSet, imp types.Importer, t *listEntry, files []*ast.File) (*Package, error) {
+	p := &Package{
+		ImportPath: t.ImportPath,
+		Dir:        t.Dir,
+		Fset:       fset,
+		Files:      files,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+		},
+	}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	pkg, _ := conf.Check(t.ImportPath, fset, files, p.Info)
+	p.Types = pkg
+	return p, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"dscs/internal/analysis/analysistest"
+	"dscs/internal/analysis/lockcheck"
+)
+
+func TestLockHoldHygiene(t *testing.T) {
+	analysistest.Run(t, lockcheck.Analyzer, "lockhold")
+}

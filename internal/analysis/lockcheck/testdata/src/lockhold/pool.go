@@ -1,0 +1,111 @@
+// Package lockhold reproduces the lock-hold bug classes behind PR 8's
+// dead-pool livelock: blocking operations and opaque callbacks executed
+// while a pool mutex is held, starving every other goroutine that needs
+// the lock to make progress.
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type pool struct {
+	mu   sync.Mutex
+	bal  sync.RWMutex
+	work chan int
+	done chan struct{}
+	hook func()
+	wg   sync.WaitGroup
+	cond *sync.Cond
+	n    int
+}
+
+// livelock is the historical bug shape: every statement between Lock and
+// Unlock that can wait pins the lock for the duration.
+func (p *pool) livelock() {
+	p.mu.Lock()
+	v := <-p.work                // want `channel receive while holding p\.mu`
+	p.work <- v                  // want `channel send while holding p\.mu`
+	p.hook()                     // want `call through a function value while holding p\.mu`
+	p.wg.Wait()                  // want `\(\*sync\.WaitGroup\)\.Wait waits on a WaitGroup while holding p\.mu`
+	time.Sleep(time.Millisecond) // want `time\.Sleep sleeps while holding p\.mu`
+	select {                     // want `select while holding p\.mu`
+	case v = <-p.work:
+	case <-p.done:
+	}
+	p.mu.Unlock()
+	// After the unlock the same operations are fine.
+	v = <-p.work
+	p.work <- v
+	p.hook()
+	_ = v
+}
+
+// deferredUnlock holds to the function's end: the receive is still under
+// the lock even though no explicit Unlock precedes it.
+func (p *pool) deferredUnlock() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return <-p.work // want `channel receive while holding p\.mu`
+}
+
+// tryLockBranch: a TryLock-guarded branch holds the mutex inside the
+// branch only.
+func (p *pool) tryLockBranch() {
+	if p.bal.TryLock() {
+		p.hook() // want `call through a function value while holding p\.bal`
+		p.bal.Unlock()
+	}
+	p.hook()
+}
+
+// rangeChan: ranging over a channel blocks on every receive.
+func (p *pool) rangeChan() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for range p.work { // want `ranging over a channel while holding p\.mu`
+	}
+}
+
+// goroutinesEscape: a goroutine spawned under the lock runs on its own
+// stack without it, and a closure stored for later runs later — neither
+// is flagged. An immediately-invoked literal runs here, locks and all.
+func (p *pool) goroutinesEscape() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	go func() { p.work <- 1 }()
+	p.hook = func() { <-p.done }
+	func() {
+		<-p.done // want `channel receive while holding p\.mu`
+	}()
+}
+
+// condWait is the sanctioned way to wait under the lock: Cond.Wait
+// releases its mutex while parked and must not be flagged.
+func (p *pool) condWait() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for p.n == 0 {
+		p.cond.Wait()
+	}
+	p.n--
+}
+
+// unlockThenBlock is the engine's stealInto discipline: drop the lock,
+// do the waiting work, retake it.
+func (p *pool) unlockThenBlock() {
+	p.mu.Lock()
+	n := p.n
+	p.mu.Unlock()
+	p.work <- n
+	p.mu.Lock()
+	p.n = 0
+	p.mu.Unlock()
+}
+
+// allowEscape: a reviewed exception documents itself with a reason.
+func (p *pool) allowEscape() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done <- struct{}{} //dscslint:allow lockcheck buffered signal channel sized to writers; send cannot block
+}

@@ -1,0 +1,131 @@
+// Package rngcheck enforces split-stream RNG determinism: no code may
+// draw from math/rand's package-level generator, and no seed may come
+// from the wall clock. Every seeded golden in this repository (steal
+// dominance, adaptive balance, the diurnal lifecycle run, the chaos
+// trace) is bit-identical only because randomness flows through
+// explicitly seeded per-op *rand.Rand streams (internal/sim/rng.go's
+// split streams); one rand.Intn on the shared global interleaves with
+// whoever else draws from it and drifts every golden downstream of the
+// call. rand.NewSource(time.Now().UnixNano()) is the same bug at seed
+// time — a run that can never be reproduced.
+package rngcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"dscs/internal/analysis"
+)
+
+// constructors build streams rather than drawing from the global one;
+// they are the sanctioned API surface (their seeding is checked
+// separately for wall-clock leaks).
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "rngcheck",
+	Doc:  "forbid the global math/rand generator and wall-clock seeding",
+	Run:  run,
+}
+
+func isRandPkg(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "math/rand" || p == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := pass.Callee(call)
+			if fn == nil || !isRandPkg(fn) {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an explicit *rand.Rand stream are the sanctioned path
+			}
+			if constructors[fn.Name()] {
+				if leak, ok := wallClockArg(pass, call); ok {
+					pass.Reportf(leak.Pos(),
+						"%s.%s seeded from the wall clock: the run can never be reproduced; derive the seed from the experiment's -seed", fn.Pkg().Name(), fn.Name())
+				}
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the global math/rand generator; use a seeded per-op *rand.Rand split stream so goldens stay bit-identical", fn.Pkg().Name(), fn.Name())
+			return true
+		})
+		checkValueUses(pass, f)
+	}
+}
+
+// checkValueUses flags package-level math/rand functions referenced as
+// values (stored, passed) rather than called — the indirection does not
+// make the global stream deterministic.
+func checkValueUses(pass *analysis.Pass, f *ast.File) {
+	calls := map[*ast.SelectorExpr]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				calls[sel] = true
+			}
+		}
+		return true
+	})
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || calls[sel] {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || !isRandPkg(fn) || constructors[fn.Name()] {
+			return true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s.%s referenced as a value still draws from the global generator when called; pass a seeded *rand.Rand stream instead", fn.Pkg().Name(), fn.Name())
+		return true
+	})
+}
+
+// wallClockArg reports a time.Now call nested anywhere in the
+// constructor's arguments. A nested rand constructor is not descended
+// into — rand.New(rand.NewSource(time.Now...)) reports once, at the
+// constructor whose argument actually reads the clock.
+func wallClockArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Node, bool) {
+	var found ast.Node
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			inner, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pass.IsPkgFunc(inner, "time", "Now") {
+				found = inner
+				return false
+			}
+			if fn := pass.Callee(inner); fn != nil && isRandPkg(fn) && constructors[fn.Name()] {
+				return false
+			}
+			return true
+		})
+	}
+	return found, found != nil
+}

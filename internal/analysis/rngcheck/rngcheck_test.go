@@ -1,0 +1,12 @@
+package rngcheck_test
+
+import (
+	"testing"
+
+	"dscs/internal/analysis/analysistest"
+	"dscs/internal/analysis/rngcheck"
+)
+
+func TestSplitStreamDeterminism(t *testing.T) {
+	analysistest.Run(t, rngcheck.Analyzer, "rngstreams")
+}

@@ -1,0 +1,39 @@
+// Package rngstreams reproduces the two determinism bug classes rngcheck
+// guards against: drawing from math/rand's shared global generator (one
+// call interleaves with every other drawer and drifts the seeded
+// goldens), and seeding a source from the wall clock (a run that can
+// never be reproduced).
+package rngstreams
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraws(n int) int {
+	k := rand.Intn(n)                  // want `rand\.Intn draws from the global math/rand generator`
+	f := rand.Float64()                // want `rand\.Float64 draws from the global math/rand generator`
+	rand.Shuffle(n, func(i, j int) {}) // want `rand\.Shuffle draws from the global math/rand generator`
+	return k + int(f)
+}
+
+func wallSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand\.NewSource seeded from the wall clock`
+}
+
+// Indirection through a value does not make the global stream
+// deterministic.
+var pick = rand.Intn // want `rand\.Intn referenced as a value still draws from the global generator`
+
+// seededStream is the sanctioned path: an explicitly seeded per-op
+// stream. Constructor calls and methods on the stream are not flagged.
+func seededStream(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(n, func(i, j int) {})
+	return r.Intn(n)
+}
+
+func escaped(n int) int {
+	//dscslint:allow rngcheck fixture pin: the allow escape silences rngcheck too
+	return rand.Intn(n)
+}

@@ -138,6 +138,8 @@ func NewDigest(window int) *Digest {
 // durations (a clock anomaly upstream) clamp to zero so no quantile can
 // ever go negative. When the caller's shard fills, Record folds the
 // staged backlog forward (amortized: once per stageCap observations).
+//
+//dscslint:hotpath
 func (d *Digest) Record(v time.Duration) {
 	if v < 0 {
 		v = 0
@@ -174,6 +176,8 @@ func (d *Digest) Record(v time.Duration) {
 // of once per value. The serving engine records one dispatched batch's
 // queue delays through this. Folds fire on the same shard-full edges as
 // the one-at-a-time path.
+//
+//dscslint:hotpath
 func (d *Digest) RecordBatch(vs []time.Duration) {
 	if len(vs) == 0 {
 		return
@@ -644,6 +648,8 @@ func (o *Observatory) Warmup() int64 { return o.warmup }
 
 // Record folds one completion latency into the keyed digest (created on
 // first use) and returns the digest so the caller can read gauges off it.
+//
+//dscslint:hotpath
 func (o *Observatory) Record(bench, platform string, v time.Duration) *Digest {
 	k := obsKey{bench, platform}
 	if d, ok := o.m.Load(k); ok {
@@ -660,6 +666,8 @@ func (o *Observatory) Record(bench, platform string, v time.Duration) *Digest {
 // RecordBatch folds a run of observations into the keyed digest (created
 // on first use) under one key lookup and one staging pass — see
 // Digest.RecordBatch. A nil digest comes back only for an empty run.
+//
+//dscslint:hotpath
 func (o *Observatory) RecordBatch(bench, platform string, vs []time.Duration) *Digest {
 	if len(vs) == 0 {
 		return o.Digest(bench, platform)

@@ -126,6 +126,8 @@ func NewHybridQueue(depth int) (*HybridQueue, error) {
 func (q *HybridQueue) live() []HybridTask { return q.tasks[q.head:] }
 
 // Submit enqueues; it reports false (drop) at the bound.
+//
+//dscslint:hotpath
 func (q *HybridQueue) Submit(t HybridTask) bool {
 	if q.Len() >= q.depth {
 		q.dropped++
@@ -142,6 +144,8 @@ func (q *HybridQueue) Len() int { return len(q.tasks) - q.head }
 func (q *HybridQueue) Full() bool { return q.Len() >= q.depth }
 
 // Room is the number of Submits the bound still admits.
+//
+//dscslint:hotpath
 func (q *HybridQueue) Room() int {
 	if n := q.Len(); n < q.depth {
 		return q.depth - n
@@ -155,6 +159,8 @@ func (q *HybridQueue) Dropped() int { return q.dropped }
 // Head returns the oldest queued task without removing it. The queue
 // preserves arrival order, so the head is what the starvation aging bound
 // (AgingMultiple) is measured against.
+//
+//dscslint:hotpath
 func (q *HybridQueue) Head() (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false
@@ -204,6 +210,8 @@ func (q *HybridQueue) TakeWhere(max int, match func(HybridTask) bool) []HybridTa
 
 // TakeWhereInto is TakeWhere appending into dst — the batching hot path
 // hands a reused scratch buffer here so coalescing never allocates.
+//
+//dscslint:hotpath
 func (q *HybridQueue) TakeWhereInto(dst []HybridTask, max int, match func(HybridTask) bool) []HybridTask {
 	if max <= 0 {
 		return dst
@@ -247,6 +255,8 @@ func (q *HybridQueue) TakeWhereInto(dst []HybridTask, max int, match func(Hybrid
 // contiguously, so the donor queue keeps its arrival order and the aging
 // bound stays measured against a genuine oldest task. A nil predicate
 // accepts everything.
+//
+//dscslint:hotpath
 func (q *HybridQueue) TakePrefix(max int, match func(HybridTask) bool) []HybridTask {
 	if max <= 0 {
 		return nil
@@ -275,6 +285,8 @@ func (q *HybridQueue) TakePrefix(max int, match func(HybridTask) bool) []HybridT
 // the admission bound: the task was already admitted somewhere, and a
 // rebalance must never turn into a drop. A task older than the whole
 // backlog reoccupies the dead prefix in O(1) when there is one.
+//
+//dscslint:hotpath
 func (q *HybridQueue) Restore(t HybridTask) {
 	liveView := q.live()
 	i := sort.Search(len(liveView), func(i int) bool {
@@ -300,6 +312,8 @@ func (q *HybridQueue) Restore(t HybridTask) {
 // survive a requeue regardless of how the batch was grouped. Batches
 // arrive oldest-first (dispatch order); inserting back-to-front lets the
 // older tasks take Restore's O(1) dead-prefix fast path.
+//
+//dscslint:hotpath
 func (q *HybridQueue) RestoreAll(tasks []HybridTask) {
 	for i := len(tasks) - 1; i >= 0; i-- {
 		q.Restore(tasks[i])
@@ -313,6 +327,8 @@ type FCFSPolicy struct{}
 func (FCFSPolicy) Name() string { return "fcfs" }
 
 // Pick implements Policy.
+//
+//dscslint:hotpath
 func (FCFSPolicy) Pick(q *HybridQueue, _ InstanceClass, _ time.Duration) (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false
@@ -329,6 +345,8 @@ type CriticalityPolicy struct{}
 func (CriticalityPolicy) Name() string { return "criticality" }
 
 // Pick implements Policy.
+//
+//dscslint:hotpath
 func (CriticalityPolicy) Pick(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false
@@ -361,6 +379,8 @@ type DAGAwarePolicy struct{}
 func (DAGAwarePolicy) Name() string { return "dag-aware" }
 
 // Pick implements Policy.
+//
+//dscslint:hotpath
 func (DAGAwarePolicy) Pick(q *HybridQueue, class InstanceClass, now time.Duration) (HybridTask, bool) {
 	if q.Len() == 0 {
 		return HybridTask{}, false

@@ -249,6 +249,8 @@ func (c *PoolCore) AttachFormer(f *BatchFormer) { c.former = f }
 func (c *PoolCore) Former() *BatchFormer { return c.former }
 
 // Submit admits a task; it reports false (drop) at the queue bound.
+//
+//dscslint:hotpath
 func (c *PoolCore) Submit(t sched.HybridTask) bool {
 	if !c.queue.Submit(t) {
 		return false
@@ -261,6 +263,8 @@ func (c *PoolCore) Submit(t sched.HybridTask) bool {
 // now is the caller's clock (wall time on the live engine, virtual time in
 // the simulator) on the same basis as HybridTask.Arrived; the policies use
 // it for starvation aging.
+//
+//dscslint:hotpath
 func (c *PoolCore) Dispatch(now time.Duration) (sched.HybridTask, bool) {
 	if c.free == 0 || c.dead {
 		return sched.HybridTask{}, false
@@ -283,6 +287,8 @@ func (c *PoolCore) Dispatch(now time.Duration) (sched.HybridTask, bool) {
 // so the caller knows when to drive the core again — a timed wait on the
 // engine, a scheduled event in the simulation. Without an attached former
 // it behaves exactly like Dispatch.
+//
+//dscslint:hotpath
 func (c *PoolCore) DispatchFormed(now time.Duration) (t sched.HybridTask, ok bool, wake time.Duration, wakeOK bool) {
 	if c.former == nil {
 		t, ok = c.Dispatch(now)
@@ -334,6 +340,8 @@ func (c *PoolCore) DispatchFormed(now time.Duration) (t sched.HybridTask, ok boo
 // tasks: the donor no longer counts them, the thief does, and a donor-side
 // batch former sheds them. The move is capped at the thief's queue room —
 // a rebalance must never turn into a drop. It returns the moved tasks.
+//
+//dscslint:hotpath
 func (c *PoolCore) StealFrom(donor *PoolCore, max int) []sched.HybridTask {
 	if donor == nil || donor == c || donor.queue == c.queue || c.dead {
 		// A dead thief must not import work into a grave; a dead donor is
@@ -368,6 +376,8 @@ func (c *PoolCore) StolenOut() int { return c.stolenOut }
 // next Coalesce or DispatchFormed on this core, so callers consume it
 // before driving the core again (every call site does — they run under
 // the same lock that serializes the core).
+//
+//dscslint:hotpath
 func (c *PoolCore) Coalesce(max int, match func(sched.HybridTask) bool) []sched.HybridTask {
 	taken := c.queue.TakeWhereInto(c.scratch[:0], max, match)
 	c.scratch = taken
@@ -555,6 +565,8 @@ func (h *HybridCore) Multi() *MultiCore { return h.multi }
 // Submit admits a task; it reports false (drop) at the queue bound. On a
 // split core it lands on the DSCS backlog (the accelerated tier requests
 // target); use SubmitTo to route explicitly.
+//
+//dscslint:hotpath
 func (h *HybridCore) Submit(t sched.HybridTask) bool {
 	if h.split {
 		return h.SubmitTo(sched.ClassDSCS, t)
@@ -569,6 +581,8 @@ func (h *HybridCore) Submit(t sched.HybridTask) bool {
 // SubmitTo admits a task onto one class's backlog (split layout; on a
 // classic core the shared queue ignores the class). It reports false
 // (drop) at that backlog's bound.
+//
+//dscslint:hotpath
 func (h *HybridCore) SubmitTo(class sched.InstanceClass, t sched.HybridTask) bool {
 	if !h.split {
 		return h.Submit(t)
@@ -580,6 +594,8 @@ func (h *HybridCore) SubmitTo(class sched.InstanceClass, t sched.HybridTask) boo
 // to class's backlog — the pull half of rebalancing on a split core. The
 // tasks keep their arrival instants, so the aging bound follows them. A
 // classic core has one shared queue and nothing to steal; it returns nil.
+//
+//dscslint:hotpath
 func (h *HybridCore) Steal(from, to sched.InstanceClass, max int) []sched.HybridTask {
 	if !h.split || from == to {
 		return nil
@@ -591,6 +607,8 @@ func (h *HybridCore) Steal(from, to sched.InstanceClass, max int) []sched.Hybrid
 // serves faster). It returns the task, the class it runs on, and whether
 // anything was dispatched. On a split core each dispatch records the
 // task's queue delay against the serving class's wait digest.
+//
+//dscslint:hotpath
 func (h *HybridCore) Dispatch(now time.Duration) (sched.HybridTask, sched.InstanceClass, bool) {
 	if h.split {
 		if t, ok := h.multi.Dispatch(hybridDSCSPool, now); ok {

@@ -96,6 +96,8 @@ func (f *BatchFormer) memberDue(t sched.HybridTask) time.Duration {
 // Observe folds an admitted arrival into its payload's forming group,
 // opening one if needed. batch is the request's model batch (>= 1). It
 // returns the group's (possibly tightened) due instant.
+//
+//dscslint:hotpath
 func (f *BatchFormer) Observe(t sched.HybridTask, batch int) time.Duration {
 	if batch < 1 {
 		batch = 1

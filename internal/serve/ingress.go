@@ -73,6 +73,8 @@ func newIngress(shards, bound int) *ingress {
 // The bound check reads two atomics; under concurrent offers it is exact
 // to within the in-flight racers, and a sequential caller sees exactly
 // the old single-queue admission behavior.
+//
+//dscslint:hotpath
 func (in *ingress) offer(shard int, e ingressEntry, bounce bool) error {
 	if in.staged.Load()+in.queued.Load() >= in.bound {
 		if !bounce {
@@ -109,6 +111,8 @@ func (in *ingress) pending() int {
 // instant, task ID breaking ties — so cross-shard interleavings reach the
 // core in the same order a single queue would have seen. The caller holds
 // the pool lock and must account every returned entry.
+//
+//dscslint:hotpath
 func (in *ingress) drainInto(scratch []ingressEntry) []ingressEntry {
 	out := scratch[:0]
 	if in.staged.Load() == 0 {

@@ -145,6 +145,8 @@ func (m *MultiCore) Index(name string) int {
 
 // SubmitTo admits a task onto pool i's backlog; it reports false (drop) at
 // that backlog's bound.
+//
+//dscslint:hotpath
 func (m *MultiCore) SubmitTo(i int, t sched.HybridTask) bool {
 	if !m.pools[i].Submit(t) {
 		return false
@@ -163,6 +165,8 @@ func (m *MultiCore) recordWait(i int, now time.Duration, t sched.HybridTask) {
 
 // Dispatch hands pool i's policy pick to one of its free workers and
 // records the task's queue delay against the pool.
+//
+//dscslint:hotpath
 func (m *MultiCore) Dispatch(i int, now time.Duration) (sched.HybridTask, bool) {
 	t, ok := m.pools[i].Dispatch(now)
 	if ok {
@@ -174,6 +178,8 @@ func (m *MultiCore) Dispatch(i int, now time.Duration) (sched.HybridTask, bool) 
 // DispatchFormed is Dispatch gated by pool i's attached BatchFormer (see
 // PoolCore.DispatchFormed); a released task records its queue delay —
 // including the forming hold — against the pool.
+//
+//dscslint:hotpath
 func (m *MultiCore) DispatchFormed(i int, now time.Duration) (t sched.HybridTask, ok bool, wake time.Duration, wakeOK bool) {
 	t, ok, wake, wakeOK = m.pools[i].DispatchFormed(now)
 	if ok {
@@ -185,6 +191,8 @@ func (m *MultiCore) DispatchFormed(i int, now time.Duration) (t sched.HybridTask
 // Coalesce batches up to max matching queued tasks of pool i onto its just
 // dispatched worker, recording each coalesced task's queue delay at now
 // (coalescing ends a task's wait exactly as a dispatch does).
+//
+//dscslint:hotpath
 func (m *MultiCore) Coalesce(i int, now time.Duration, max int, match func(sched.HybridTask) bool) []sched.HybridTask {
 	taken := m.pools[i].Coalesce(max, match)
 	for _, t := range taken {
@@ -242,6 +250,8 @@ func (m *MultiCore) Requeued() int { return m.requeued }
 // Steal moves up to max of pool from's oldest queued tasks onto pool to's
 // backlog (see PoolCore.StealFrom: arrival instants and submission
 // accounting move with the tasks, capped at the thief's queue room).
+//
+//dscslint:hotpath
 func (m *MultiCore) Steal(from, to, max int) []sched.HybridTask {
 	if from == to {
 		return nil
