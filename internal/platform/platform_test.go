@@ -115,6 +115,51 @@ func TestDSAPlatformMemoization(t *testing.T) {
 	}
 }
 
+// TestDSAPlatformCacheKeyedByGraphAndBatch guards the composite runKey:
+// the same graph at different batch sizes must memoize independently
+// (batching changes both latency and energy), and re-querying either
+// entry must hit its own memo.
+func TestDSAPlatformCacheKeyedByGraphAndBatch(t *testing.T) {
+	p := DSCS().(*DSAPlatform)
+	g := model.InceptionV3Clinical()
+	l1, _, err := p.Infer(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, _, err := p.Infer(g, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1 == l8 {
+		t.Error("batch 1 and batch 8 returned identical latency: cache entries conflated")
+	}
+	if len(p.cache) != 2 {
+		t.Errorf("cache holds %d entries after two distinct (graph, batch) queries, want 2", len(p.cache))
+	}
+	if again, _, _ := p.Infer(g, 1); again != l1 {
+		t.Error("re-query of batch 1 missed its memo")
+	}
+}
+
+// TestDSAPlatformWarmInferDoesNotAllocate pins the hot-path fix dscslint
+// surfaced: the warm Infer path formatted a "name/batch" string key per
+// call. With the composite key it must not allocate at all.
+func TestDSAPlatformWarmInferDoesNotAllocate(t *testing.T) {
+	p := DSCS().(*DSAPlatform)
+	g := model.InceptionV3Clinical()
+	if _, _, err := p.Infer(g, 1); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := p.Infer(g, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm Infer allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
 func TestFPGAEnergyAboveASIC(t *testing.T) {
 	// Same architecture class, but FPGA fabric burns far more per op.
 	g := model.ResNet18Moderation()

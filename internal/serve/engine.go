@@ -11,6 +11,8 @@
 // and former from its virtual clock, so the simulated rack and the live
 // HTTP path share one scheduler implementation.
 
+//dscslint:allow clockcheck this file is the wall-clock half of the core: worker sleeps, quiesce deadlines, and lifecycle timers run on real time (the clock-free state machines live in core.go and lifecycle.go)
+
 package serve
 
 import (
@@ -320,6 +322,14 @@ type pool struct {
 	cDropped  sched.CounterHandle
 	cFormed   sched.CounterHandle
 	cColdSt   sched.CounterHandle
+	// cSpillTo and cStealFrom hold the directed per-pair flow counters,
+	// resolved for every possible peer at construction so the submit and
+	// steal paths never build a label string per event (the PR 6 handle
+	// discipline; a map read allocates nothing). cSpillTo is keyed by
+	// spill target, cStealFrom by donor. A missing key yields the zero
+	// handle, whose Inc is a no-op.
+	cSpillTo   map[string]sched.CounterHandle
+	cStealFrom map[string]sched.CounterHandle
 	// delayRefresh is the wall-clock nanos of the last serve_queue_delay_*
 	// gauge refresh — the publish rate limit (gaugeRefreshInterval). The
 	// digests themselves stay exact; only how often their window quantiles
@@ -658,13 +668,14 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 			return nil, fmt.Errorf("serve: spillover enabled with no CPU-class pool")
 		}
 		// Register the counters up front so /metrics shows the feature is
-		// armed even before the first spill.
+		// armed even before the first spill, and pre-resolve a handle for
+		// every directed (DSCS pool → CPU pool) pair the spill path can
+		// take, so enqueue never builds a label per spilled request.
 		e.tel.Inc("serve_spillover_total", 0)
-		if opt.SpilloverTo != "" {
-			for _, p := range e.pools {
-				if p.class == sched.ClassDSCS {
-					e.tel.Inc("serve_spillover_total{from="+p.name+",to="+opt.SpilloverTo+"}", 0)
-				}
+		for _, p := range e.dscsPools {
+			p.cSpillTo = make(map[string]sched.CounterHandle, len(e.spillCPU))
+			for _, q := range e.spillCPU {
+				p.cSpillTo[q.name] = e.tel.CounterHandle("serve_spillover_total{from=" + p.name + ",to=" + q.name + "}")
 			}
 		}
 	}
@@ -685,7 +696,18 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		e.tel.Inc("serve_batch_formed_total", 0)
 	}
 	if opt.StealThreshold > 0 || opt.AdaptiveBalance {
+		// Any pool can steal from any other (dead-pool rescue crosses
+		// classes), so every directed pair gets a handle up front.
 		e.tel.Inc("serve_steal_total", 0)
+		for _, p := range e.pools {
+			p.cStealFrom = make(map[string]sched.CounterHandle, len(e.pools)-1)
+			for _, d := range e.pools {
+				if d == p {
+					continue
+				}
+				p.cStealFrom[d.name] = e.tel.CounterHandle("serve_steal_total{from=" + d.name + ",to=" + p.name + "}")
+			}
+		}
 	}
 	e.drives = newDriveSet(dscsStores)
 	for _, id := range e.drives.ids {
@@ -1028,6 +1050,8 @@ func (e *Engine) deliver(r *request, out outcome) {
 // admission order. Callers hold p.mu. A core that fills mid-drain (stolen-in
 // work can race the staging queue) rejects the overflow late, with the same
 // ErrQueueFull the bound would have given at offer time.
+//
+//dscslint:hotpath
 func (e *Engine) drainLocked(p *pool) {
 	if p.ingress == nil || p.ingress.staged.Load() == 0 {
 		return
@@ -1190,6 +1214,8 @@ func (e *Engine) signalPeersForBalance(p *pool, backlog bool) {
 // Invocation.Platform names the pool that actually served it. A full spill
 // target falls back to the original pool, which may still have room — the
 // threshold sits well below the admission bound.
+//
+//dscslint:hotpath
 func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Options) (Invocation, error) {
 	req, target, err := e.enqueue(platformName, b, opt, false)
 	if err != nil {
@@ -1222,6 +1248,8 @@ func (e *Engine) Submit(platformName string, b *workload.Benchmark, opt faas.Opt
 // This is the throughput spelling of the submit path — callers measuring
 // or driving sustained load pay the admission cost only, not a reply
 // channel round-trip per request.
+//
+//dscslint:hotpath
 func (e *Engine) SubmitAsync(platformName string, b *workload.Benchmark, opt faas.Options) error {
 	_, _, err := e.enqueue(platformName, b, opt, true)
 	return err
@@ -1252,9 +1280,11 @@ func (e *Engine) Quiesce(timeout time.Duration) bool {
 func (e *Engine) enqueue(platformName string, b *workload.Benchmark, opt faas.Options, fire bool) (*request, string, error) {
 	p, ok := e.pools[platformName]
 	if !ok {
+		//dscslint:allow hotpathcheck cold branch: caller error, never taken by well-formed traffic
 		return nil, "", fmt.Errorf("serve: unknown platform %q", platformName)
 	}
 	if b == nil {
+		//dscslint:allow hotpathcheck cold branch: caller error, never taken by well-formed traffic
 		return nil, "", fmt.Errorf("serve: nil benchmark")
 	}
 	target, spilled := p, false
@@ -1329,7 +1359,7 @@ func (e *Engine) enqueue(platformName string, b *workload.Benchmark, opt faas.Op
 	}
 	if spilled {
 		e.cSpillAll.Inc(1)
-		e.tel.Inc("serve_spillover_total{from="+p.name+",to="+target.name+"}", 1)
+		p.cSpillTo[target.name].Inc(1)
 	}
 	if target.autoscaler != nil {
 		// Arrival-rate digests feed the predictive pre-warm floor; the
@@ -1379,6 +1409,8 @@ func putBatch(bs *batchState) {
 // newBatch resolves a dispatched task to its request (carried in the
 // task's Ref — no side-table lookup) and does the initial coalescing pass
 // over what already queued. Callers hold p.mu.
+//
+//dscslint:hotpath
 func (e *Engine) newBatch(p *pool, task sched.HybridTask) *batchState {
 	lead := task.Ref.(*request)
 	bs := batchPool.Get().(*batchState)
@@ -1395,6 +1427,8 @@ func (e *Engine) newBatch(p *pool, task sched.HybridTask) *batchState {
 // batch, up to the remaining budget, and refreshes the queue-depth gauge
 // (Coalesce removes queued tasks just like Dispatch does). It returns how
 // many requests were taken. Callers hold p.mu.
+//
+//dscslint:hotpath
 func (e *Engine) gather(p *pool, bs *batchState) int {
 	if bs.budget <= 0 {
 		return 0
@@ -1556,6 +1590,8 @@ func (e *Engine) waitWarmed(p *pool) bool {
 // releases it and retakes both pool locks in name order (the engine-wide
 // lock order), so two pools stealing from each other cannot deadlock. It
 // returns how many requests moved; p.mu is held again on return.
+//
+//dscslint:hotpath
 func (e *Engine) stealInto(p *pool) int {
 	if !p.core.Healthy() {
 		// A dead thief cannot dispatch what it steals; rescued work would
@@ -1646,7 +1682,7 @@ func (e *Engine) stealInto(p *pool) int {
 			// backlog is work for them too.
 			p.cond.Broadcast()
 			e.cStealAll.Inc(float64(moved))
-			e.tel.Inc("serve_steal_total{from="+donor.name+",to="+p.name+"}", float64(moved))
+			p.cStealFrom[donor.name].Inc(float64(moved))
 			// A steal extracts queued tasks just like Coalesce does: both
 			// pools' depth gauges (and ingress mirrors) must follow.
 			e.syncDepth(donor)
@@ -1665,6 +1701,8 @@ func (e *Engine) stealInto(p *pool) int {
 // post-close leftovers, stolen-in tasks, or the shutdown drain), so the
 // serve_batch_formed_total counter matches BatchFormer.Formed and the
 // simulation's Stats.Formed.
+//
+//dscslint:hotpath
 func (e *Engine) dispatch(p *pool, now time.Duration) (task sched.HybridTask, ok bool, wait time.Duration, waitOK, formed bool) {
 	f := p.core.Former()
 	if f == nil || p.closed {
@@ -2046,6 +2084,8 @@ func (e *Engine) observe(slug, platformName string, service time.Duration, at ti
 // gathered during the linger window can postdate the dispatch instant;
 // the negative wait clamps to zero here, and the delivery loop hands the
 // same clamped values to the per-request outcomes.)
+//
+//dscslint:hotpath
 func (e *Engine) recordWaits(p *pool, bs *batchState, dispatched time.Time) {
 	bs.waits = bs.waits[:0]
 	for _, r := range bs.reqs {

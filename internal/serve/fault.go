@@ -4,6 +4,9 @@
 // simulations drive the same PoolCore/MultiCore failure state from their
 // virtual clocks; this file is the wall-clock half — time.AfterFunc
 // injection timers and a real second dispatch racing the first.
+
+//dscslint:allow clockcheck wall-clock half by design: fault-injection timers and hedge deadlines race real executions
+
 package serve
 
 import (
