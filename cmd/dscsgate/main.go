@@ -35,6 +35,11 @@
 // total) and -fault-script (a scripted schedule of pool and drive kills
 // and recoveries, e.g. '30s:pool-down:DSCS-Serverless;2m:pool-up:
 // DSCS-Serverless'; watch serve_faults_total and serve_requeues_total).
+//
+// Invocation graphs run through POST /system/workflows (spec text body,
+// offset:id=benchmark:deps stages joined by ';') or one-shot via
+// -workflow; stages chain through object-store objects and place where
+// their input's replica lives (watch the serve_workflow_* metrics).
 package main
 
 import (
@@ -80,6 +85,7 @@ func main() {
 		prewarm     = flag.Bool("prewarm", false, "predictive autoscaling: pre-warm to the arrival-rate demand floor and surge on wait-p95 (needs -max-workers; default reactive)")
 		hedgeFactor = flag.Float64("hedge-factor", 0, "dispatch a duplicate on a healthy peer once an execution outlives this multiple of its adopted service-p95; first completion wins (0 disables, must be >= 1 otherwise)")
 		faultScript = flag.String("fault-script", "", "scripted fault schedule, e.g. '30s:pool-down:DSCS-Serverless;2m:pool-up:DSCS-Serverless' (kinds: pool-down, pool-up, drive-down, drive-up)")
+		wfSpec      = flag.String("workflow", "", "run one invocation graph at startup and print its ledger, e.g. '0s:extract=credit-risk:;0s:shard=asset-damage:extract' (offset:id=benchmark:deps, ';'-separated)")
 	)
 	flag.Parse()
 
@@ -125,6 +131,15 @@ func main() {
 		fmt.Printf("Pre-deployed %d applications.\n", len(dscs.Suite()))
 	}
 
+	if *wfSpec != "" {
+		// -workflow is a one-shot: run the graph through the API path,
+		// print the ledger, exit.
+		if err := runWorkflow(gw, *wfSpec); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	if *demo {
 		runDemo(gw)
 		return
@@ -149,6 +164,7 @@ func main() {
 	}
 	fmt.Println("  POST /system/functions   deploy (YAML body)")
 	fmt.Println("  GET  /system/functions   list deployments")
+	fmt.Println("  POST /system/workflows   run an invocation graph (offset:id=benchmark:deps body)")
 	fmt.Println("  POST /function/<name>    invoke ({\"batch\":..,\"cold\":..,\"quantile\":..})")
 	fmt.Println("  GET  /metrics            telemetry (incl. serve_* queue/batch metrics)")
 	if err := http.ListenAndServe(*addr, gw.Handler()); err != nil {
@@ -171,6 +187,26 @@ func deploySuite(gw *gateway.Gateway) error {
 			return fmt.Errorf("deploy %s: status %d", b.Slug, resp.StatusCode)
 		}
 	}
+	return nil
+}
+
+// runWorkflow submits one invocation graph through POST /system/workflows
+// and prints the settled ledger.
+func runWorkflow(gw *gateway.Gateway, spec string) error {
+	srv := httptest.NewServer(gw.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/system/workflows?quantile=0.5", "text/plain",
+		strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("workflow refused (status %d): %s", resp.StatusCode, strings.TrimSpace(string(body[:n])))
+	}
+	fmt.Printf("POST /system/workflows ->\n%s", body[:n])
 	return nil
 }
 

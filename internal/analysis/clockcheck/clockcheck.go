@@ -47,6 +47,7 @@ var Analyzer = &analysis.Analyzer{
 		"dscs/internal/sched",
 		"dscs/internal/scale",
 		"dscs/internal/serve",
+		"dscs/internal/workflow",
 	},
 	Run: run,
 }

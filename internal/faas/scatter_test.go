@@ -1,9 +1,11 @@
 package faas
 
 import (
+	"strings"
 	"testing"
 
 	"dscs/internal/platform"
+	"dscs/internal/trace"
 	"dscs/internal/workload"
 )
 
@@ -80,5 +82,88 @@ func TestScatterPartitionsSerializeOnOneDrive(t *testing.T) {
 	if eight.Total() < two.Total()/2 {
 		t.Errorf("8 partitions (%v) implausibly faster than 2 (%v) on 2 drives",
 			eight.Total(), two.Total())
+	}
+}
+
+// TestScatterEmptyFanOut pins the degenerate fan-outs: zero and negative
+// partition counts are an empty scatter, which degrades to a plain Invoke
+// rather than erroring or partitioning by a nonsense count.
+func TestScatterEmptyFanOut(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.DSCS())
+	b := workload.Moderation()
+	opt := Options{Quantile: 0.5, Batch: 4}
+	direct, err := r.Invoke(b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{0, -3} {
+		res, err := r.InvokeScattered(b, opt, parts)
+		if err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		if res.Total() != direct.Total() {
+			t.Errorf("parts=%d must equal Invoke: %v vs %v", parts, res.Total(), direct.Total())
+		}
+	}
+}
+
+// TestScatterSurvivesSingleDrive seeds the partitions across both DSCS
+// drives, kills one, and repairs: ReReplicate re-homes the lost DSCS
+// replicas onto the survivor, so the next scatter completes with every
+// partition serialized on one drive — degraded parallelism, not an error.
+func TestScatterSurvivesSingleDrive(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.DSCS())
+	b := workload.Clinical()
+	opt := Options{Quantile: 0.5, Batch: 8}
+	healthy, err := r.InvokeScattered(b, opt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.FailNode("dscs-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := store.ReReplicate("dscs-1"); err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := r.InvokeScattered(b, opt, 2)
+	if err != nil {
+		t.Fatalf("scatter after repair onto one drive: %v", err)
+	}
+	if degraded.Total() <= 0 {
+		t.Fatalf("degenerate result %+v", degraded)
+	}
+	if degraded.Total() < healthy.Total() {
+		t.Fatalf("serialized scatter (%v) cannot beat the two-drive run (%v)",
+			degraded.Total(), healthy.Total())
+	}
+}
+
+// TestScatterFanInStrandedByFaultScript replays a drive-down fault script
+// against the store and then scatters: with every DSCS drive dead a
+// partition has no healthy replica to fan in from, so the branch surfaces
+// the stranding as an error — never a panic, never a silent accept.
+func TestScatterFanInStrandedByFaultScript(t *testing.T) {
+	store := testStore(t)
+	r := NewRunner(store, platform.DSCS())
+	faults, err := trace.ParseFaultScript("0s:drive-down:dscs-0;0s:drive-down:dscs-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range faults {
+		if !ev.Kind.Down() || ev.Kind.Pool() {
+			t.Fatalf("unexpected fault event %v", ev)
+		}
+		if err := store.FailNode(ev.Target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = r.InvokeScattered(workload.PPEDetection(), Options{Quantile: 0.5, Batch: 8}, 2)
+	if err == nil {
+		t.Fatal("scatter across dead drives silently succeeded")
+	}
+	if !strings.Contains(err.Error(), "no healthy DSCS replica") {
+		t.Fatalf("error %q does not name the stranded partition", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"dscs/internal/faas"
 	"dscs/internal/sched"
 	"dscs/internal/serve"
+	"dscs/internal/trace"
 	"dscs/internal/workload"
 )
 
@@ -109,6 +111,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", g.health)
 	mux.HandleFunc("/system/functions", g.systemFunctions)
+	mux.HandleFunc("/system/workflows", g.systemWorkflows)
 	mux.HandleFunc("/function/", g.invoke)
 	mux.HandleFunc("/metrics", g.metrics)
 	return mux
@@ -297,6 +300,84 @@ func (g *Gateway) invoke(w http.ResponseWriter, r *http.Request) {
 		QueuedMS:      ms(inv.Queued),
 		BatchRequests: inv.BatchRequests,
 		BatchSize:     inv.BatchSize,
+	})
+}
+
+// workflowStageJSON is one stage row of a workflow response.
+type workflowStageJSON struct {
+	ID       string `json:"id"`
+	Platform string `json:"platform,omitempty"`
+	Local    bool   `json:"local"`
+	State    string `json:"state"`
+	Error    string `json:"error,omitempty"`
+}
+
+// workflowResponse reports one settled workflow: the ledger, the
+// end-to-end makespan, and the local-vs-fabric byte split.
+type workflowResponse struct {
+	ID          int                 `json:"id"`
+	Succeeded   bool                `json:"succeeded"`
+	MakespanMS  float64             `json:"makespan_ms"`
+	Completed   int                 `json:"completed"`
+	Dropped     int                 `json:"dropped"`
+	Stranded    int                 `json:"stranded"`
+	LocalStages int                 `json:"local_stages"`
+	LocalBytes  int64               `json:"local_bytes"`
+	FabricBytes int64               `json:"fabric_bytes"`
+	Stages      []workflowStageJSON `json:"stages"`
+}
+
+// systemWorkflows admits one invocation graph (POST, spec text body in the
+// offset:id=benchmark:deps format of internal/trace) and blocks until it
+// settles. Malformed graphs — cycles, dangling deps, duplicate IDs — are
+// HTTP 400; a stage naming an undeployed-unknown benchmark is 422.
+func (g *Gateway) systemWorkflows(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := trace.ParseWorkflowSpec(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var opt faas.Options
+	if q := r.URL.Query().Get("quantile"); q != "" {
+		if opt.Quantile, err = strconv.ParseFloat(q, 64); err != nil {
+			http.Error(w, "bad quantile: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	res, err := g.engine.SubmitWorkflow(spec, opt)
+	if err != nil {
+		if strings.Contains(err.Error(), "unknown benchmark") {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		g.tel.Inc("gateway_errors_total", 1)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	g.tel.Inc("gateway_workflows_total", 1)
+	stages := make([]workflowStageJSON, len(res.Stages))
+	for i, st := range res.Stages {
+		stages[i] = workflowStageJSON{
+			ID: st.ID, Platform: st.Platform, Local: st.Local,
+			State: st.State.String(), Error: st.Err,
+		}
+	}
+	writeJSON(w, workflowResponse{
+		ID: res.ID, Succeeded: res.Succeeded,
+		MakespanMS: float64(res.Makespan) / float64(time.Millisecond),
+		Completed:  res.Completed, Dropped: res.Dropped, Stranded: res.Stranded,
+		LocalStages: res.LocalStages,
+		LocalBytes:  int64(res.LocalBytes), FabricBytes: int64(res.FabricBytes),
+		Stages: stages,
 	})
 }
 

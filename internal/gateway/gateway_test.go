@@ -531,3 +531,79 @@ func TestConcurrentDeployInvoke(t *testing.T) {
 		}
 	}
 }
+
+// TestSystemWorkflows drives an invocation graph through POST
+// /system/workflows: the spec text admits, every stage settles Done on a
+// platform, and the response carries the ledger and makespan. Malformed
+// and unknown-benchmark specs map to 400/422, and GET is refused.
+func TestSystemWorkflows(t *testing.T) {
+	g := testGatewayWithOptions(t, 17, serve.Options{
+		Workers: 2, QueueDepth: 64,
+		Execute: func(r *faas.Runner, b *workload.Benchmark, opt faas.Options) (faas.Result, error) {
+			return faas.Result{}, nil
+		},
+	})
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+
+	spec := "0s:extract=credit-risk:;0s:s0=asset-damage:extract;0s:s1=asset-damage:extract;1ms:gather=credit-risk:s0,s1"
+	resp, err := http.Post(srv.URL+"/system/workflows?quantile=0.5", "text/plain", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		Succeeded  bool    `json:"succeeded"`
+		MakespanMS float64 `json:"makespan_ms"`
+		Completed  int     `json:"completed"`
+		Stages     []struct {
+			ID       string `json:"id"`
+			Platform string `json:"platform"`
+			State    string `json:"state"`
+		} `json:"stages"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Succeeded || out.Completed != 4 || out.MakespanMS <= 0 {
+		t.Fatalf("workflow response %+v", out)
+	}
+	for _, st := range out.Stages {
+		if st.State != "done" || st.Platform == "" {
+			t.Fatalf("stage %+v did not settle done", st)
+		}
+	}
+	if g.Telemetry().Counter("gateway_workflows_total") != 1 {
+		t.Fatal("gateway_workflows_total never moved")
+	}
+
+	for _, tc := range []struct {
+		name, body string
+		want       int
+	}{
+		{"cycle", "0s:a=credit-risk:b;0s:b=credit-risk:a", http.StatusBadRequest},
+		{"empty", "", http.StatusBadRequest},
+		{"unknown benchmark", "0s:a=nonesuch:", http.StatusUnprocessableEntity},
+	} {
+		resp, err := http.Post(srv.URL+"/system/workflows", "text/plain", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Fatalf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+	resp, err = http.Get(srv.URL + "/system/workflows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET allowed: %d", resp.StatusCode)
+	}
+}

@@ -514,6 +514,12 @@ type Engine struct {
 	// Per-drive occupancy handles, indexed like drives.ids.
 	driveBusy []sched.GaugeHandle
 	driveAcq  []sched.CounterHandle
+	// Workflow driver state (workflow.go): the admitted-workflow counter
+	// behind object-key namespacing, the stages-in-flight gauge backing,
+	// and the end-to-end makespan digest behind serve_workflow_makespan_*.
+	wfID        atomic.Int64
+	wfInflight  atomic.Int64
+	wfMakespans *metrics.Digest
 }
 
 // latKey keys the latency-gauge handle cache without allocating a joined
@@ -569,6 +575,7 @@ func NewEngine(runners map[string]*faas.Runner, opt Options) (*Engine, error) {
 		latches: make(map[[2]string]*metrics.Latch),
 		start:   time.Now(),
 	}
+	e.wfMakespans = metrics.NewDigest(opt.EstimateWindow)
 	var dscsStores []*objstore.Store
 	for name, r := range runners {
 		class := classFor(r.Platform)

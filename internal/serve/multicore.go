@@ -369,6 +369,20 @@ func (m *MultiCore) peerWait(i int) time.Duration {
 	return m.WaitQuantileOf(i, WaitQuantile)
 }
 
+// PricedWait exposes peerWait's pricing to external placement policies —
+// the workflow locality placer ranks fallback pools with the same signal
+// the balance machinery uses, so "least-priced wait" means one thing
+// everywhere.
+func (m *MultiCore) PricedWait(i int) time.Duration { return m.peerWait(i) }
+
+// Idle reports whether pool i could serve new work immediately: healthy,
+// empty backlog, free worker — the locality placer's keep-it-local fast
+// path.
+func (m *MultiCore) Idle(i int) bool {
+	p := m.pools[i]
+	return p.Healthy() && p.QueueLen() == 0 && p.free > 0
+}
+
 // BalanceTarget picks the pool a submission aimed at from should spill to:
 // the eligible peer with the lowest priced wait (peerWait — an idle pool
 // prices at zero however contaminated its digest; ties to the lowest

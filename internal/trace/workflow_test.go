@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dscs/internal/sim"
+	"dscs/internal/workload"
+)
+
+func TestParseWorkflowSpecRoundTrip(t *testing.T) {
+	script := "0s:extract=credit-risk:;0s:shard0=nl-query:extract;0s:shard1=nl-query:extract;30s:gather=credit-risk:shard0,shard1"
+	spec, err := ParseWorkflowSpec(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Stages) != 4 {
+		t.Fatalf("parsed %d stages", len(spec.Stages))
+	}
+	gather := spec.Stages[3]
+	if gather.ID != "gather" || gather.Benchmark != "credit-risk" ||
+		gather.Offset != 30*time.Second || len(gather.Deps) != 2 {
+		t.Fatalf("gather stage %+v", gather)
+	}
+	again, err := ParseWorkflowSpec(FormatWorkflowSpec(spec))
+	if err != nil {
+		t.Fatalf("re-parse of formatted spec: %v", err)
+	}
+	if len(again.Stages) != len(spec.Stages) {
+		t.Fatalf("round trip lost stages: %d -> %d", len(spec.Stages), len(again.Stages))
+	}
+	for i := range spec.Stages {
+		a, b := spec.Stages[i], again.Stages[i]
+		if a.ID != b.ID || a.Benchmark != b.Benchmark || a.Offset != b.Offset ||
+			strings.Join(a.Deps, ",") != strings.Join(b.Deps, ",") {
+			t.Fatalf("round trip changed stage %d: %+v -> %+v", i, a, b)
+		}
+	}
+}
+
+func TestParseWorkflowSpecFindings(t *testing.T) {
+	cases := []struct {
+		name, script, want string
+	}{
+		{"empty graph", "", "empty workflow graph"},
+		{"separators only", ";;\n ;", "empty workflow graph"},
+		{"missing fields", "0s:a=x", "not offset:id=benchmark:deps"},
+		{"no benchmark", "0s:a=:", "names no benchmark"},
+		{"no id", "0s:=x:", "invalid workflow stage id"},
+		{"bad offset", "soon:a=x:", "workflow stage offset"},
+		{"negative offset", "-5s:a=x:", "negative workflow stage offset"},
+		{"duplicate id", "0s:a=x:;0s:a=y:", "duplicate workflow stage id"},
+		{"dangling dep", "0s:a=x:ghost", "undeclared stage"},
+		{"self dep", "0s:a=x:a", "depends on itself"},
+		{"duplicate dep", "0s:a=x:;0s:b=y:a,a", "twice"},
+		{"two-cycle", "0s:a=x:b;0s:b=y:a", "cycle"},
+		{"long cycle", "0s:a=x:c;0s:b=y:a;0s:c=z:b", "cycle"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := ParseWorkflowSpec(tc.script)
+			if err == nil {
+				t.Fatalf("silently accepted %q: %+v", tc.script, spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestWorkflowSpecRoots(t *testing.T) {
+	spec, err := ParseWorkflowSpec("0s:a=x:;0s:b=y:;0s:c=z:a,b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roots := spec.Roots()
+	if len(roots) != 2 || roots[0] != 0 || roots[1] != 1 {
+		t.Fatalf("roots = %v", roots)
+	}
+}
+
+func TestGenerateWorkflowsShapes(t *testing.T) {
+	cfg := WorkflowConfig{Duration: 5 * time.Minute, Rate: 0.5, ETLShare: 0.5, FanOut: 3}
+	tr, err := GenerateWorkflows(cfg, workload.Suite(), sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Workflows) == 0 {
+		t.Fatal("empty workflow trace")
+	}
+	etl, ml := 0, 0
+	for _, w := range tr.Workflows {
+		if err := w.Spec.Validate(); err != nil {
+			t.Fatalf("workflow %d: %v", w.ID, err)
+		}
+		if w.At < 0 || w.At >= cfg.Duration {
+			t.Fatalf("workflow %d arrives at %v outside the trace", w.ID, w.At)
+		}
+		switch len(w.Spec.Stages) {
+		case 3: // pre → infer → post
+			ml++
+		case 2 + cfg.FanOut: // extract → shards → gather
+			etl++
+			// The shards must share one benchmark so parallel unlocks can
+			// coalesce through the batch former.
+			bench := w.Spec.Stages[1].Benchmark
+			for _, st := range w.Spec.Stages[1 : 1+cfg.FanOut] {
+				if st.Benchmark != bench {
+					t.Fatalf("workflow %d shards mix benchmarks", w.ID)
+				}
+				if len(st.Deps) != 1 || st.Deps[0] != "extract" {
+					t.Fatalf("workflow %d shard deps %v", w.ID, st.Deps)
+				}
+			}
+		default:
+			t.Fatalf("workflow %d has unexpected shape (%d stages)", w.ID, len(w.Spec.Stages))
+		}
+	}
+	if etl == 0 || ml == 0 {
+		t.Fatalf("one class missing: %d ETL, %d ML", etl, ml)
+	}
+	if tr.Stages() == 0 {
+		t.Fatal("zero stage total")
+	}
+	// Same seed, same trace.
+	again, err := GenerateWorkflows(cfg, workload.Suite(), sim.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Workflows) != len(tr.Workflows) {
+		t.Fatalf("regeneration drifted: %d vs %d workflows", len(again.Workflows), len(tr.Workflows))
+	}
+	for i := range tr.Workflows {
+		if again.Workflows[i].At != tr.Workflows[i].At ||
+			FormatWorkflowSpec(again.Workflows[i].Spec) != FormatWorkflowSpec(tr.Workflows[i].Spec) {
+			t.Fatalf("workflow %d drifted across regenerations", i)
+		}
+	}
+}
+
+func TestGenerateWorkflowsRejectsDegenerate(t *testing.T) {
+	rng := sim.NewRNG(1)
+	bad := []WorkflowConfig{
+		{},
+		{Duration: time.Minute, Rate: 0, ETLShare: 0.5, FanOut: 2},
+		{Duration: time.Minute, Rate: 1, ETLShare: 1.5, FanOut: 2},
+		{Duration: time.Minute, Rate: 1, ETLShare: 0.5, FanOut: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := GenerateWorkflows(cfg, workload.Suite(), rng); err == nil {
+			t.Fatalf("accepted degenerate config %+v", cfg)
+		}
+	}
+	good := WorkflowConfig{Duration: time.Minute, Rate: 1, ETLShare: 0.5, FanOut: 2}
+	if _, err := GenerateWorkflows(good, nil, rng); err == nil {
+		t.Fatal("accepted an empty suite")
+	}
+}
+
+// FuzzWorkflowSpec drives the spec decoder: structurally broken graphs —
+// cycles, dangling or duplicate deps, duplicate stage IDs, the empty
+// graph — must surface as errors, never panics or silent accepts, and any
+// accepted spec must validate and round-trip through its formatted
+// spelling.
+func FuzzWorkflowSpec(f *testing.F) {
+	f.Add("0s:extract=credit-risk:;0s:shard0=nl-query:extract;0s:gather=credit-risk:shard0")
+	f.Add("0s:pre=a:\n5s:infer=b:pre\n0s:post=c:infer")
+	f.Add("0s:a=x:b;0s:b=y:a")
+	f.Add("0s:a=x:ghost")
+	f.Add("0s:a=x:;0s:a=y:")
+	f.Add("0s:a=x:a")
+	f.Add(";;\n ;")
+	f.Add("0s:a=x")
+	f.Fuzz(func(t *testing.T, script string) {
+		spec, err := ParseWorkflowSpec(script)
+		if err != nil {
+			return
+		}
+		// Whatever parses must be a runnable graph...
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("parsed spec fails validation: %v", err)
+		}
+		if len(spec.Stages) == 0 {
+			t.Fatal("empty graph accepted")
+		}
+		if len(spec.Roots()) == 0 {
+			t.Fatal("acyclic graph with no roots")
+		}
+		// ...and survive the Format/Parse round trip exactly.
+		again, err := ParseWorkflowSpec(FormatWorkflowSpec(spec))
+		if err != nil {
+			t.Fatalf("re-parse of formatted spec: %v", err)
+		}
+		if len(again.Stages) != len(spec.Stages) {
+			t.Fatalf("round trip lost stages: %d -> %d", len(spec.Stages), len(again.Stages))
+		}
+		for i := range spec.Stages {
+			a, b := spec.Stages[i], again.Stages[i]
+			if a.ID != b.ID || a.Benchmark != b.Benchmark || a.Offset != b.Offset ||
+				strings.Join(a.Deps, ",") != strings.Join(b.Deps, ",") {
+				t.Fatalf("round trip changed stage %d: %+v -> %+v", i, a, b)
+			}
+		}
+	})
+}
